@@ -1,0 +1,51 @@
+//! Criterion bench: end-to-end pipeline and accelerator simulation throughput
+//! (supports paper Figs. 19/20 and the Table II latency methodology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
+use sofa_hw::accel::{AttentionTask, SofaAccelerator, WholeRowAccelerator};
+use sofa_hw::config::HwConfig;
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sofa_pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for s in [128usize, 256] {
+        let w = AttentionWorkload::generate(&ScoreDistribution::bert_like(), 8, s, 64, 32, 5);
+        group.bench_with_input(BenchmarkId::new("sofa_full", s), &s, |b, _| {
+            let p = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+            b.iter(|| std::hint::black_box(p.run(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", s), &s, |b, _| {
+            let p = SofaPipeline::new(PipelineConfig::baseline(0.25, 16).unwrap());
+            b.iter(|| std::hint::black_box(p.run(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_accelerator_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelerator_model");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    let cfg = HwConfig::paper_default();
+    let task = AttentionTask::new(128, 4096, 4096, 32, 0.2, 16);
+    group.bench_function("sofa_simulate", |b| {
+        let accel = SofaAccelerator::new(cfg);
+        b.iter(|| std::hint::black_box(accel.simulate(&task)))
+    });
+    group.bench_function("whole_row_simulate", |b| {
+        let accel = WholeRowAccelerator::new(cfg);
+        b.iter(|| std::hint::black_box(accel.simulate(&task)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_accelerator_model);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench: SU-FA vs FlashAttention-1/2 vs vanilla attention on the
+//! formal-compute stage (supports paper Figs. 5 and 17, and the SU-FA order
+//! ablation of §III-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofa_core::flash::{flash_attention, vanilla_attention_counted, FlashConfig, FlashVersion};
+use sofa_core::ops::OpCounts;
+use sofa_core::sufa::{sorted_updating_attention, SuFaOrder};
+use sofa_core::topk::topk_exact;
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_tensor::attention::attention_scores;
+use std::time::Duration;
+
+fn bench_formal_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formal_compute");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for s in [256usize, 512] {
+        let w = AttentionWorkload::generate(&ScoreDistribution::llama_like(), 16, s, 64, 64, 7);
+        let (q, k, v) = (w.q.clone(), w.keys(), w.values());
+        let keep = s / 5;
+        let scores = attention_scores(&q, &k);
+        let mut ops = OpCounts::new();
+        let mask = topk_exact(&scores, keep, &mut ops);
+
+        group.bench_with_input(BenchmarkId::new("sufa_descending", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCounts::new();
+                std::hint::black_box(sorted_updating_attention(
+                    &q,
+                    &k,
+                    &v,
+                    &mask,
+                    SuFaOrder::Descending,
+                    &mut ops,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fa2_full", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCounts::new();
+                std::hint::black_box(flash_attention(
+                    &q,
+                    &k,
+                    &v,
+                    &FlashConfig::new(16, FlashVersion::V2),
+                    &mut ops,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fa1_full", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCounts::new();
+                std::hint::black_box(flash_attention(
+                    &q,
+                    &k,
+                    &v,
+                    &FlashConfig::new(16, FlashVersion::V1),
+                    &mut ops,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vanilla_dense", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCounts::new();
+                std::hint::black_box(vanilla_attention_counted(&q, &k, &v, &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formal_stage);
+criterion_main!(benches);

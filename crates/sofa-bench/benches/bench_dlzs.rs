@@ -1,0 +1,38 @@
+//! Criterion bench: DLZS prediction vs the 4-bit multiply and vanilla-LZ
+//! baselines (supports paper Fig. 17's pre-compute stage ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofa_core::dlzs::{predict_scores_int4, predict_scores_vanilla_lz, DlzsPredictor, PredictionStats};
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use std::time::Duration;
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for s in [128usize, 256] {
+        let w = AttentionWorkload::generate(&ScoreDistribution::bert_like(), 8, s, 64, 32, 1);
+        let predictor = DlzsPredictor::prepare(&w.wk);
+        group.bench_with_input(BenchmarkId::new("dlzs", s), &s, |b, _| {
+            b.iter(|| std::hint::black_box(predictor.predict(&w.x, &w.q)))
+        });
+        group.bench_with_input(BenchmarkId::new("int4_mul", s), &s, |b, _| {
+            b.iter(|| {
+                let mut st = PredictionStats::default();
+                std::hint::black_box(predict_scores_int4(&w.x, &w.wk, &w.q, &mut st))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vanilla_lz", s), &s, |b, _| {
+            b.iter(|| {
+                let mut st = PredictionStats::default();
+                std::hint::black_box(predict_scores_vanilla_lz(&w.x, &w.wk, &w.q, &mut st))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

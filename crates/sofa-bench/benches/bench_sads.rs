@@ -1,0 +1,35 @@
+//! Criterion bench: SADS distributed sorting vs whole-row exact top-k
+//! (supports the top-k stage of paper Fig. 17 and the latency claims of §IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofa_core::ops::OpCounts;
+use sofa_core::sads::{sads_topk, SadsConfig};
+use sofa_core::topk::topk_exact;
+use sofa_model::{ScoreDistribution, ScoreWorkload};
+use std::time::Duration;
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_sorting");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for s in [1024usize, 4096] {
+        let w = ScoreWorkload::generate(&ScoreDistribution::llama_like(), 16, s, 3);
+        let k = s / 5;
+        group.bench_with_input(BenchmarkId::new("sads_n16", s), &s, |b, _| {
+            let cfg = SadsConfig::new(16, 0.5, 2).unwrap();
+            b.iter(|| std::hint::black_box(sads_topk(&w.scores, k, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCounts::new();
+                std::hint::black_box(topk_exact(&w.scores, k, &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

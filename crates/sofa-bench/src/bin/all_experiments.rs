@@ -1,0 +1,26 @@
+//! Runs every experiment in sequence (the full evaluation section).
+fn main() {
+    use sofa_bench::experiments as e;
+    for table in [
+        e::fig01_breakdown(),
+        e::fig03_mat(),
+        e::fig04_oi(),
+        e::fig05_fa2_overhead(),
+        e::fig08_distribution(),
+        e::fig16_latency_breakdown(),
+        e::fig17_complexity_ablation(),
+        e::fig18_lp_reduction(),
+        e::fig19_throughput(),
+        e::fig20_memory_energy(),
+        e::fig21_gain_breakdown(),
+        e::table1_summary(),
+        e::table2_comparison(),
+        e::table3_area_power(),
+        e::table4_power(),
+        e::ablation_dse(),
+        e::ablation_sufa_order(),
+        e::ablation_rass(),
+    ] {
+        table.print();
+    }
+}

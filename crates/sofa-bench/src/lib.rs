@@ -1,0 +1,13 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation section.
+//!
+//! Each experiment is a library function in [`experiments`] that returns a
+//! [`Table`]; one thin binary per paper artefact prints it (see
+//! `src/bin/`). The mapping from paper figure/table to binary is catalogued in
+//! `DESIGN.md` and the measured-vs-paper comparison lives in
+//! `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

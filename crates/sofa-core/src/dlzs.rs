@@ -1,0 +1,413 @@
+//! Cross-phase DLZS sparsity prediction (paper §III-A, Fig. 7).
+//!
+//! The pre-compute stage of dynamic sparsity has to estimate the attention
+//! matrix  just to decide which Q-K pairs matter, and at LTPP scale a naïve
+//! low-precision matrix multiply already costs more power than the formal
+//! computation it is trying to save. SOFA replaces every multiplication in
+//! the prediction path with a shift:
+//!
+//! 1. **Offline** — the key projection weights `W_k` are quantised to 8 bits
+//!    and converted once into 4-bit leading-zero codes ([`LzCode`]).
+//! 2. **Key-prediction phase** — `K̂ = X ⊙ W_k` where `⊙` shifts the 8-bit
+//!    token value by the weight's exponent and accumulates (no multiplier, no
+//!    on-line converter).
+//! 3. **Attention-prediction phase** — `Q` is converted to 5-bit codes by the
+//!    configurable LZE (to avoid compounding the error, the *other* operand
+//!    `K̂` keeps its 16-bit value) and `Â = K̂ ⊙ Q` is again a shift-add.
+//!
+//! Two baselines are provided for the ablation experiments: a 4-bit
+//! multiplication predictor (what prior accelerators do) and the vanilla
+//! leading-one scheme that converts *both* operands.
+
+use crate::lze::{approx_mul_dlzs, approx_mul_vanilla, encode, LzCode};
+use crate::ops::{OpCounts, OpKind};
+use sofa_tensor::fixed::{packed_bytes, Quantized};
+use sofa_tensor::Matrix;
+
+/// Operation and traffic statistics of one prediction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictionStats {
+    /// Primitive operations executed.
+    pub ops: OpCounts,
+    /// Bytes of weight data that must be streamed from DRAM.
+    pub weight_bytes: u64,
+    /// Bytes of token/query activations streamed from DRAM.
+    pub activation_bytes: u64,
+}
+
+impl PredictionStats {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes
+    }
+}
+
+/// The DLZS predictor with pre-converted `W_k` codes.
+#[derive(Debug, Clone)]
+pub struct DlzsPredictor {
+    /// Leading-zero codes of the quantised `W_k`, shape `(input_dim, head_dim)`.
+    wk_codes: Vec<LzCode>,
+    input_dim: usize,
+    head_dim: usize,
+    /// Scale of the quantised weights (kept to report a consistently scaled K̂).
+    wk_scale: f32,
+}
+
+impl DlzsPredictor {
+    /// Pre-deployment preparation: quantises `wk` to 8 bits and converts it to
+    /// leading-zero codes (paper Fig. 16, "Preprocess: Convert Wk in LZ
+    /// format and store").
+    pub fn prepare(wk: &Matrix) -> Self {
+        let q = Quantized::from_matrix(8, wk);
+        let codes = q
+            .codes()
+            .iter()
+            .map(|&c| encode(c, 8))
+            .collect::<Vec<LzCode>>();
+        DlzsPredictor {
+            wk_codes: codes,
+            input_dim: wk.rows(),
+            head_dim: wk.cols(),
+            wk_scale: q.params.scale,
+        }
+    }
+
+    /// Head dimension of the prepared weights.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Input (embedding) dimension of the prepared weights.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Bytes of DRAM the pre-converted weights occupy (4-bit exponent + sign
+    /// packed into 5 bits per weight, as in the paper's storage analysis).
+    pub fn weight_storage_bytes(&self) -> u64 {
+        packed_bytes(self.wk_codes.len(), LzCode::storage_bits(8)) as u64
+    }
+
+    /// Phase 1.1 — predicts `K̂ = X · W_k` with shift-add only.
+    ///
+    /// `x` has shape `(seq_len, input_dim)`; the result has shape
+    /// `(seq_len, head_dim)` and is returned on the same scale as an exact
+    /// `X·W_k` product (so it can be compared against the true keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn predict_keys(&self, x: &Matrix, stats: &mut PredictionStats) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim, "token width mismatch");
+        let xq = Quantized::from_matrix(8, x);
+        let out_scale = xq.params.scale * self.wk_scale;
+        let mut out = Matrix::zeros(x.rows(), self.head_dim);
+        for i in 0..x.rows() {
+            let xrow = xq.row(i);
+            for j in 0..self.head_dim {
+                let mut acc: i64 = 0;
+                for (n, &xv) in xrow.iter().enumerate() {
+                    let code = self.wk_codes[n * self.head_dim + j];
+                    if xv == 0 || code.is_zero() {
+                        // The zero-eliminator removes these lanes in hardware.
+                        continue;
+                    }
+                    acc += approx_mul_dlzs(xv, code);
+                    stats.ops.record(OpKind::Shift, 1);
+                    stats.ops.record(OpKind::Add, 1);
+                }
+                // Truncated to 16 bits in hardware before the next phase.
+                let acc = acc.clamp(i16::MIN as i64, i16::MAX as i64);
+                out.set(i, j, acc as f32 * out_scale);
+            }
+        }
+        stats.weight_bytes += self.weight_storage_bytes();
+        stats.activation_bytes += (x.rows() * x.cols()) as u64; // 8-bit tokens
+        out
+    }
+
+    /// Phase 1.2 — predicts `Â = Q · K̂ᵀ` with `Q` converted to the log domain.
+    ///
+    /// `q` has shape `(queries, head_dim)`, `k_hat` has shape
+    /// `(seq_len, head_dim)`; the result is `(queries, seq_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head dimensions disagree.
+    pub fn predict_scores(
+        &self,
+        q: &Matrix,
+        k_hat: &Matrix,
+        stats: &mut PredictionStats,
+    ) -> Matrix {
+        assert_eq!(q.cols(), k_hat.cols(), "head dimension mismatch");
+        let qq = Quantized::from_matrix(16, q);
+        let kq = Quantized::from_matrix(16, k_hat);
+        let out_scale = qq.params.scale * kq.params.scale;
+        // Convert Q once per element (configurable 16-bit LZE).
+        let q_codes: Vec<LzCode> = qq.codes().iter().map(|&c| encode(c, 16)).collect();
+        stats.ops.record(OpKind::LzEncode, q_codes.len() as u64);
+
+        let mut out = Matrix::zeros(q.rows(), k_hat.rows());
+        for i in 0..q.rows() {
+            let qrow = &q_codes[i * q.cols()..(i + 1) * q.cols()];
+            for j in 0..k_hat.rows() {
+                let krow = kq.row(j);
+                let mut acc: i64 = 0;
+                for (d, &code) in qrow.iter().enumerate() {
+                    let kv = krow[d];
+                    if kv == 0 || code.is_zero() {
+                        continue;
+                    }
+                    acc += approx_mul_dlzs(kv, code);
+                    stats.ops.record(OpKind::Shift, 1);
+                    stats.ops.record(OpKind::Add, 1);
+                }
+                out.set(i, j, acc as f32 * out_scale);
+            }
+        }
+        stats.activation_bytes += (q.rows() * q.cols() * 2) as u64; // 16-bit Q
+        out
+    }
+
+    /// Runs both phases: predicts `K̂` from the tokens, then `Â` from `Q` and
+    /// `K̂`. Returns the predicted score matrix together with the statistics.
+    pub fn predict(&self, x: &Matrix, q: &Matrix) -> (Matrix, PredictionStats) {
+        let mut stats = PredictionStats::default();
+        let k_hat = self.predict_keys(x, &mut stats);
+        let scores = self.predict_scores(q, &k_hat, &mut stats);
+        (scores, stats)
+    }
+}
+
+/// Baseline: 4-bit integer multiplication prediction of `Q·Kᵀ` (what prior
+/// dynamic-sparsity accelerators use in their pre-compute stage). The keys are
+/// assumed to have been produced by an exact 8-bit `X·W_k`, whose cost is also
+/// counted.
+pub fn predict_scores_int4(
+    x: &Matrix,
+    wk: &Matrix,
+    q: &Matrix,
+    stats: &mut PredictionStats,
+) -> Matrix {
+    assert_eq!(x.cols(), wk.rows(), "token width mismatch");
+    assert_eq!(q.cols(), wk.cols(), "head dimension mismatch");
+    // K generation with 8-bit multiplications.
+    let k = x.matmul(wk).expect("shapes checked");
+    let macs_k = (x.rows() * x.cols() * wk.cols()) as u64;
+    stats.ops.record(OpKind::Mul, macs_k);
+    stats.ops.record(OpKind::Add, macs_k);
+
+    // Score prediction with 4-bit multiplications.
+    let q4 = Quantized::from_matrix(4, q);
+    let k4 = Quantized::from_matrix(4, &k);
+    let out_scale = q4.params.scale * k4.params.scale;
+    let mut out = Matrix::zeros(q.rows(), k.rows());
+    for i in 0..q.rows() {
+        let qrow = q4.row(i);
+        for j in 0..k.rows() {
+            let krow = k4.row(j);
+            let mut acc: i64 = 0;
+            for (d, &qv) in qrow.iter().enumerate() {
+                acc += qv as i64 * krow[d] as i64;
+            }
+            stats.ops.record(OpKind::Mul, qrow.len() as u64);
+            stats.ops.record(OpKind::Add, qrow.len() as u64);
+            out.set(i, j, acc as f32 * out_scale);
+        }
+    }
+    stats.weight_bytes += (wk.rows() * wk.cols()) as u64; // 8-bit weights
+    stats.activation_bytes += (x.rows() * x.cols()) as u64 + (q.rows() * q.cols()) as u64 / 2;
+    out
+}
+
+/// Baseline: the vanilla leading-one/zero scheme that converts *both*
+/// operands of every multiplication on the fly (paper Fig. 7(b) top).
+pub fn predict_scores_vanilla_lz(
+    x: &Matrix,
+    wk: &Matrix,
+    q: &Matrix,
+    stats: &mut PredictionStats,
+) -> Matrix {
+    assert_eq!(x.cols(), wk.rows(), "token width mismatch");
+    assert_eq!(q.cols(), wk.cols(), "head dimension mismatch");
+    let xq = Quantized::from_matrix(8, x);
+    let wq = Quantized::from_matrix(8, wk);
+    let k_scale = xq.params.scale * wq.params.scale;
+
+    // K prediction: both operands converted (2 LZEs per MAC operand pair).
+    let mut k_hat = Matrix::zeros(x.rows(), wk.cols());
+    for i in 0..x.rows() {
+        for j in 0..wk.cols() {
+            let mut acc: i64 = 0;
+            for n in 0..x.cols() {
+                let a = xq.code(i, n);
+                let b = wq.code(n, j);
+                if a == 0 || b == 0 {
+                    continue;
+                }
+                acc += approx_mul_vanilla(encode(a, 8), encode(b, 8));
+                stats.ops.record(OpKind::LzEncode, 2);
+                stats.ops.record(OpKind::Shift, 1);
+                stats.ops.record(OpKind::Add, 1);
+            }
+            let acc = acc.clamp(i16::MIN as i64, i16::MAX as i64);
+            k_hat.set(i, j, acc as f32 * k_scale);
+        }
+    }
+
+    // Â prediction, again converting both operands.
+    let qq = Quantized::from_matrix(16, q);
+    let kq = Quantized::from_matrix(16, &k_hat);
+    let out_scale = qq.params.scale * kq.params.scale;
+    let mut out = Matrix::zeros(q.rows(), k_hat.rows());
+    for i in 0..q.rows() {
+        for j in 0..k_hat.rows() {
+            let mut acc: i64 = 0;
+            for d in 0..q.cols() {
+                let a = qq.code(i, d);
+                let b = kq.code(j, d);
+                if a == 0 || b == 0 {
+                    continue;
+                }
+                acc += approx_mul_vanilla(encode(a, 16), encode(b, 16));
+                stats.ops.record(OpKind::LzEncode, 2);
+                stats.ops.record(OpKind::Shift, 1);
+                stats.ops.record(OpKind::Add, 1);
+            }
+            out.set(i, j, acc as f32 * out_scale);
+        }
+    }
+    // The vanilla scheme keeps full 8-bit weights/tokens in DRAM.
+    stats.weight_bytes += (wk.rows() * wk.cols()) as u64;
+    stats.activation_bytes += (x.rows() * x.cols()) as u64 + (q.rows() * q.cols() * 2) as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_model::{AttentionWorkload, ScoreDistribution};
+    use sofa_tensor::stats::recall;
+
+    fn top_indices(row: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        idx.truncate(k);
+        idx
+    }
+
+    fn mean_topk_recall(pred: &Matrix, exact: &Matrix, k: usize) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..pred.rows() {
+            let p = top_indices(pred.row(i), k);
+            let e = top_indices(exact.row(i), k);
+            acc += recall(&p, &e);
+        }
+        acc / pred.rows() as f64
+    }
+
+    fn workload() -> AttentionWorkload {
+        AttentionWorkload::generate(&ScoreDistribution::bert_like(), 8, 96, 48, 32, 99)
+    }
+
+    #[test]
+    fn dlzs_prediction_finds_vital_pairs() {
+        let w = workload();
+        let pred = DlzsPredictor::prepare(&w.wk);
+        let (scores, stats) = pred.predict(&w.x, &w.q);
+        assert_eq!(scores.shape(), (8, 96));
+        let exact = w.exact_scores();
+        let r = mean_topk_recall(&scores, &exact, 96 / 4);
+        assert!(r > 0.7, "top-25% recall of DLZS prediction too low: {r}");
+        assert_eq!(stats.ops.mul, 0, "DLZS must be multiplier-free");
+        assert!(stats.ops.shift > 0);
+    }
+
+    #[test]
+    fn dlzs_key_prediction_tracks_exact_keys() {
+        let w = workload();
+        let pred = DlzsPredictor::prepare(&w.wk);
+        let mut stats = PredictionStats::default();
+        let k_hat = pred.predict_keys(&w.x, &mut stats);
+        let k = w.keys();
+        // The log-domain approximation underestimates magnitudes by at most
+        // 2x, so the correlation with the exact keys should still be strong.
+        let cos = sofa_tensor::stats::mean_row_cosine(&k_hat, &k);
+        assert!(cos > 0.8, "K̂ should correlate with K, cosine = {cos}");
+    }
+
+    #[test]
+    fn dlzs_is_cheaper_than_int4_baseline() {
+        let w = workload();
+        let pred = DlzsPredictor::prepare(&w.wk);
+        let (_, dlzs_stats) = pred.predict(&w.x, &w.q);
+        let mut int4_stats = PredictionStats::default();
+        let _ = predict_scores_int4(&w.x, &w.wk, &w.q, &mut int4_stats);
+        assert!(
+            dlzs_stats.ops.normalized_complexity() < int4_stats.ops.normalized_complexity(),
+            "DLZS {} should beat 4-bit mul {}",
+            dlzs_stats.ops.normalized_complexity(),
+            int4_stats.ops.normalized_complexity()
+        );
+    }
+
+    #[test]
+    fn dlzs_uses_fewer_converters_and_bytes_than_vanilla() {
+        let w = workload();
+        let pred = DlzsPredictor::prepare(&w.wk);
+        let (_, dlzs_stats) = pred.predict(&w.x, &w.q);
+        let mut vanilla_stats = PredictionStats::default();
+        let _ = predict_scores_vanilla_lz(&w.x, &w.wk, &w.q, &mut vanilla_stats);
+        assert!(dlzs_stats.ops.lz_encode < vanilla_stats.ops.lz_encode / 2);
+        assert!(dlzs_stats.weight_bytes < vanilla_stats.weight_bytes);
+    }
+
+    #[test]
+    fn dlzs_is_more_accurate_than_vanilla() {
+        let w = workload();
+        let exact = w.exact_scores();
+        let k = 96 / 5;
+
+        let pred = DlzsPredictor::prepare(&w.wk);
+        let (dlzs_scores, _) = pred.predict(&w.x, &w.q);
+        let mut s = PredictionStats::default();
+        let vanilla_scores = predict_scores_vanilla_lz(&w.x, &w.wk, &w.q, &mut s);
+
+        let r_dlzs = mean_topk_recall(&dlzs_scores, &exact, k);
+        let r_vanilla = mean_topk_recall(&vanilla_scores, &exact, k);
+        assert!(
+            r_dlzs >= r_vanilla,
+            "DLZS recall {r_dlzs} should be at least vanilla {r_vanilla}"
+        );
+    }
+
+    #[test]
+    fn weight_storage_is_roughly_5_bits_per_weight() {
+        let wk = Matrix::from_fn(64, 32, |i, j| ((i * j) % 13) as f32 / 13.0 - 0.4);
+        let p = DlzsPredictor::prepare(&wk);
+        let bytes = p.weight_storage_bytes();
+        assert_eq!(bytes, (64 * 32 * 5u64).div_ceil(8));
+        assert_eq!(p.input_dim(), 64);
+        assert_eq!(p.head_dim(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "token width")]
+    fn mismatched_tokens_panic() {
+        let wk = Matrix::zeros(8, 4);
+        let p = DlzsPredictor::prepare(&wk);
+        let mut s = PredictionStats::default();
+        let _ = p.predict_keys(&Matrix::zeros(3, 9), &mut s);
+    }
+
+    #[test]
+    fn int4_baseline_shapes_and_ops() {
+        let w = workload();
+        let mut stats = PredictionStats::default();
+        let scores = predict_scores_int4(&w.x, &w.wk, &w.q, &mut stats);
+        assert_eq!(scores.shape(), (8, 96));
+        assert!(stats.ops.mul > 0);
+        assert!(stats.total_bytes() > 0);
+    }
+}

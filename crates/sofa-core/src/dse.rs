@@ -1,0 +1,566 @@
+//! Design-space exploration of per-layer tile sizes and top-k (paper §III-D,
+//! Algorithm 1).
+//!
+//! The per-layer tile size `Bc` and the keep ratio `k` trade accuracy against
+//! sorting and SU-FA complexity: larger tiles improve selection accuracy but
+//! cost more comparisons, smaller tiles multiply the number of tile
+//! synchronisations. The search space is far too large for grid search
+//! (`~10¹⁵` points for a 12-layer model), so the paper uses Bayesian
+//! optimisation over the objective
+//!
+//! ```text
+//! L(R) = L_en + α·L_cmp + β·L_exp
+//! L_cmp = Σᵢ (Bcᵢ·k) / Σᵢ (S·k)         (sorting-cost penalty)
+//! L_exp = Σᵢ (S / Bcᵢ)                   (tile-synchronisation penalty)
+//! ```
+//!
+//! This module implements that loop with a Gaussian-process surrogate (RBF
+//! kernel) and an expected-improvement acquisition function, plus a random
+//! search baseline used by the ablation experiment.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sofa_tensor::seeded_rng;
+
+/// The discrete search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseSpace {
+    /// Candidate tile sizes `Bc` (paper: 2..=32, step 2).
+    pub tile_options: Vec<usize>,
+    /// Candidate keep ratios (paper: 5 %..=50 %, step 5 %).
+    pub keep_options: Vec<f64>,
+    /// Number of Transformer layers (one tile size chosen per layer).
+    pub layers: usize,
+    /// Sequence length the penalties are computed against.
+    pub seq_len: usize,
+}
+
+impl DseSpace {
+    /// The paper's search space for a model with `layers` layers at `seq_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `seq_len == 0`.
+    pub fn paper_space(layers: usize, seq_len: usize) -> Self {
+        assert!(layers > 0 && seq_len > 0, "layers and seq_len must be positive");
+        DseSpace {
+            tile_options: (1..=16).map(|i| i * 2).collect(),
+            keep_options: (1..=10).map(|i| i as f64 * 0.05).collect(),
+            layers,
+            seq_len,
+        }
+    }
+
+    /// Total number of configurations in the space.
+    pub fn cardinality(&self) -> f64 {
+        self.keep_options.len() as f64 * (self.tile_options.len() as f64).powi(self.layers as i32)
+    }
+
+    /// Samples one random candidate.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> DseCandidate {
+        DseCandidate {
+            keep_ratio: self.keep_options[rng.gen_range(0..self.keep_options.len())],
+            tile_sizes: (0..self.layers)
+                .map(|_| self.tile_options[rng.gen_range(0..self.tile_options.len())])
+                .collect(),
+        }
+    }
+
+    /// Encodes a candidate as a normalised feature vector for the surrogate.
+    fn encode(&self, c: &DseCandidate) -> Vec<f64> {
+        let kmax = *self
+            .keep_options
+            .last()
+            .expect("keep options must not be empty");
+        let bmax = *self
+            .tile_options
+            .last()
+            .expect("tile options must not be empty") as f64;
+        let mut v = Vec::with_capacity(1 + c.tile_sizes.len());
+        v.push(c.keep_ratio / kmax);
+        for &b in &c.tile_sizes {
+            v.push(b as f64 / bmax);
+        }
+        v
+    }
+}
+
+/// One point of the design space: a keep ratio plus per-layer tile sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseCandidate {
+    /// Top-k keep ratio shared by all layers.
+    pub keep_ratio: f64,
+    /// Tile size `Bc` per layer.
+    pub tile_sizes: Vec<usize>,
+}
+
+impl DseCandidate {
+    /// Sorting-cost penalty `L_cmp = Σ (Bcᵢ·k) / Σ (S·k) = mean(Bcᵢ)/S`.
+    pub fn penalty_cmp(&self, seq_len: usize) -> f64 {
+        if self.tile_sizes.is_empty() {
+            return 0.0;
+        }
+        let mean_bc: f64 =
+            self.tile_sizes.iter().map(|&b| b as f64).sum::<f64>() / self.tile_sizes.len() as f64;
+        mean_bc / seq_len as f64
+    }
+
+    /// Tile-synchronisation penalty `L_exp = Σ (S / Bcᵢ)`, normalised by the
+    /// worst case (`layers · S / min_bc = layers · S / 2`) so it is
+    /// commensurable with the loss term.
+    pub fn penalty_exp(&self, seq_len: usize) -> f64 {
+        if self.tile_sizes.is_empty() {
+            return 0.0;
+        }
+        let raw: f64 = self
+            .tile_sizes
+            .iter()
+            .map(|&b| seq_len as f64 / b.max(1) as f64)
+            .sum();
+        let worst = self.tile_sizes.len() as f64 * seq_len as f64 / 2.0;
+        raw / worst
+    }
+}
+
+/// Configuration of the Bayesian-optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// Weight α of the sorting penalty.
+    pub alpha: f64,
+    /// Weight β of the tile-synchronisation penalty.
+    pub beta: f64,
+    /// Number of random initial samples before the surrogate is used.
+    pub init_samples: usize,
+    /// Total evaluation budget (including the initial samples).
+    pub max_iters: usize,
+    /// Number of random candidates scored by the acquisition function per
+    /// iteration.
+    pub acquisition_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DseConfig {
+    /// A small-budget default suitable for tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        DseConfig {
+            alpha: 0.3,
+            beta: 0.3,
+            init_samples: 6,
+            max_iters: 24,
+            acquisition_candidates: 64,
+            seed,
+        }
+    }
+
+    /// The per-model α/β settings reported in §V-B.1.
+    pub fn paper_weights(model_name: &str, seed: u64) -> Self {
+        let (alpha, beta) = match model_name {
+            n if n.contains("BERT") => (0.24, 0.31),
+            n if n.contains("ViT") || n.contains("PVT") => (0.20, 0.24),
+            n if n.contains("GPT") => (0.40, 0.42),
+            n if n.contains("Bloom") => (0.53, 0.56),
+            n if n.contains("Llama") => (0.58, 0.63),
+            _ => (0.3, 0.3),
+        };
+        DseConfig {
+            alpha,
+            beta,
+            init_samples: 8,
+            max_iters: 40,
+            acquisition_candidates: 128,
+            seed,
+        }
+    }
+}
+
+/// The result of a DSE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// The best candidate found.
+    pub best: DseCandidate,
+    /// Objective value of the best candidate.
+    pub best_objective: f64,
+    /// Best-so-far objective after each evaluation (for convergence plots).
+    pub history: Vec<f64>,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Combines a measured accuracy-loss term with the analytic penalties.
+pub fn objective(
+    loss: f64,
+    candidate: &DseCandidate,
+    seq_len: usize,
+    alpha: f64,
+    beta: f64,
+) -> f64 {
+    loss + alpha * candidate.penalty_cmp(seq_len) + beta * candidate.penalty_exp(seq_len)
+}
+
+// ------------------------- Gaussian process surrogate -------------------------
+
+/// A minimal Gaussian process with an RBF kernel used as the DSE surrogate.
+#[derive(Debug, Clone)]
+struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Vec<Vec<f64>>,
+    length_scale: f64,
+    noise: f64,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+        let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-d2 / (2.0 * length_scale * length_scale)).exp()
+    }
+
+    /// Fits the GP to observations `(xs, ys)`.
+    fn fit(xs: Vec<Vec<f64>>, ys: &[f64], length_scale: f64, noise: f64) -> Self {
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n.max(1) as f64;
+        // K + σ²I
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = Self::rbf(&xs[i], &xs[j], length_scale);
+            }
+            k[i][i] += noise;
+        }
+        let chol = cholesky(&k);
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let alpha = cholesky_solve(&chol, &centered);
+        GaussianProcess {
+            xs,
+            alpha,
+            chol,
+            length_scale,
+            noise,
+            y_mean,
+        }
+    }
+
+    /// Posterior mean and standard deviation at `x`.
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kx: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| Self::rbf(xi, x, self.length_scale))
+            .collect();
+        let mean = self.y_mean
+            + kx.iter()
+                .zip(self.alpha.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        // var = k(x,x) + σ² − vᵀv with v = L⁻¹ kx
+        let v = forward_substitute(&self.chol, &kx);
+        let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var.sqrt())
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+fn cholesky(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                l[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    l
+}
+
+/// Solves `L y = b` (forward substitution).
+fn forward_substitute(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    y
+}
+
+/// Solves `(L Lᵀ) x = b` given the Cholesky factor `L`.
+fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let y = forward_substitute(l, b);
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Standard normal PDF.
+fn norm_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF (Abramowitz–Stegun approximation).
+fn norm_cdf(z: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let cdf = 1.0 - norm_pdf(z.abs()) * poly;
+    if z >= 0.0 {
+        cdf
+    } else {
+        1.0 - cdf
+    }
+}
+
+/// Expected improvement of a (minimisation) candidate with posterior
+/// `(mean, std)` over the incumbent `best`.
+fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * norm_cdf(z) + std * norm_pdf(z)
+}
+
+// ------------------------------- Search loops -------------------------------
+
+/// Runs Bayesian optimisation over `space`, calling `loss_fn` to obtain the
+/// accuracy-loss term of a candidate (the penalties are added internally).
+pub fn bayesian_optimize<F>(space: &DseSpace, cfg: &DseConfig, mut loss_fn: F) -> DseResult
+where
+    F: FnMut(&DseCandidate) -> f64,
+{
+    let mut rng = seeded_rng(cfg.seed);
+    let mut observed_x: Vec<Vec<f64>> = Vec::new();
+    let mut observed_y: Vec<f64> = Vec::new();
+    let mut candidates: Vec<DseCandidate> = Vec::new();
+    let mut history = Vec::new();
+    let mut best_idx = 0usize;
+
+    let evaluate = |c: &DseCandidate, loss_fn: &mut F| {
+        objective(loss_fn(c), c, space.seq_len, cfg.alpha, cfg.beta)
+    };
+
+    // Initial random design.
+    let init = cfg.init_samples.max(2).min(cfg.max_iters.max(2));
+    for _ in 0..init {
+        let c = space.sample(&mut rng);
+        let y = evaluate(&c, &mut loss_fn);
+        observed_x.push(space.encode(&c));
+        observed_y.push(y);
+        candidates.push(c);
+        if y < observed_y[best_idx] {
+            best_idx = observed_y.len() - 1;
+        }
+        history.push(observed_y[best_idx]);
+    }
+
+    // Surrogate-guided iterations.
+    while candidates.len() < cfg.max_iters {
+        let gp = GaussianProcess::fit(observed_x.clone(), &observed_y, 0.35, 1e-4);
+        let incumbent = observed_y[best_idx];
+        let mut best_cand: Option<(f64, DseCandidate)> = None;
+        for _ in 0..cfg.acquisition_candidates.max(8) {
+            let c = space.sample(&mut rng);
+            let (mean, std) = gp.predict(&space.encode(&c));
+            let ei = expected_improvement(mean, std, incumbent);
+            if best_cand.as_ref().map_or(true, |(b, _)| ei > *b) {
+                best_cand = Some((ei, c));
+            }
+        }
+        let (_, chosen) = best_cand.expect("acquisition candidates > 0");
+        let y = evaluate(&chosen, &mut loss_fn);
+        observed_x.push(space.encode(&chosen));
+        observed_y.push(y);
+        candidates.push(chosen);
+        if y < observed_y[best_idx] {
+            best_idx = observed_y.len() - 1;
+        }
+        history.push(observed_y[best_idx]);
+    }
+
+    DseResult {
+        best: candidates[best_idx].clone(),
+        best_objective: observed_y[best_idx],
+        history,
+        evaluations: candidates.len(),
+    }
+}
+
+/// Pure random search with the same budget, used as the DSE ablation baseline.
+pub fn random_search<F>(space: &DseSpace, cfg: &DseConfig, mut loss_fn: F) -> DseResult
+where
+    F: FnMut(&DseCandidate) -> f64,
+{
+    let mut rng = seeded_rng(cfg.seed);
+    let mut best: Option<(f64, DseCandidate)> = None;
+    let mut history = Vec::new();
+    for _ in 0..cfg.max_iters {
+        let c = space.sample(&mut rng);
+        let y = objective(loss_fn(&c), &c, space.seq_len, cfg.alpha, cfg.beta);
+        if best.as_ref().map_or(true, |(b, _)| y < *b) {
+            best = Some((y, c));
+        }
+        history.push(best.as_ref().expect("just set").0);
+    }
+    let (best_objective, best) = best.expect("max_iters > 0");
+    DseResult {
+        best,
+        best_objective,
+        history,
+        evaluations: cfg.max_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic loss surface: prefers keep ratios around 0.25 and tile
+    /// sizes around 16.
+    fn synthetic_loss(c: &DseCandidate) -> f64 {
+        let k_term = (c.keep_ratio - 0.25).powi(2) * 4.0;
+        let b_term: f64 = c
+            .tile_sizes
+            .iter()
+            .map(|&b| ((b as f64 - 16.0) / 32.0).powi(2))
+            .sum::<f64>()
+            / c.tile_sizes.len() as f64;
+        k_term + b_term
+    }
+
+    #[test]
+    fn space_cardinality_is_huge_for_deep_models() {
+        let space = DseSpace::paper_space(12, 512);
+        assert!(space.cardinality() > 1e14, "got {}", space.cardinality());
+    }
+
+    #[test]
+    fn penalties_behave_monotonically() {
+        let small = DseCandidate {
+            keep_ratio: 0.2,
+            tile_sizes: vec![2, 2],
+        };
+        let large = DseCandidate {
+            keep_ratio: 0.2,
+            tile_sizes: vec![32, 32],
+        };
+        // Larger tiles → more sorting cost, fewer synchronisations.
+        assert!(large.penalty_cmp(512) > small.penalty_cmp(512));
+        assert!(large.penalty_exp(512) < small.penalty_exp(512));
+        assert!(small.penalty_exp(512) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn objective_combines_terms() {
+        let c = DseCandidate {
+            keep_ratio: 0.2,
+            tile_sizes: vec![16],
+        };
+        let base = objective(0.1, &c, 512, 0.0, 0.0);
+        assert!((base - 0.1).abs() < 1e-12);
+        let with_pen = objective(0.1, &c, 512, 1.0, 1.0);
+        assert!(with_pen > base);
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, 0.0, 1.0];
+        let gp = GaussianProcess::fit(xs, &ys, 0.3, 1e-6);
+        let (m, s) = gp.predict(&[0.5]);
+        assert!((m - 0.0).abs() < 0.05, "mean at observed point: {m}");
+        assert!(s < 0.1, "uncertainty at observed point should be small: {s}");
+        let (_, s_far) = gp.predict(&[2.5]);
+        assert!(s_far > s, "uncertainty should grow away from data");
+    }
+
+    #[test]
+    fn cdf_and_pdf_sanity() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(norm_cdf(3.0) > 0.99);
+        assert!(norm_cdf(-3.0) < 0.01);
+        assert!(norm_pdf(0.0) > norm_pdf(1.0));
+    }
+
+    #[test]
+    fn expected_improvement_prefers_low_mean_and_high_std() {
+        let a = expected_improvement(0.5, 0.1, 1.0);
+        let b = expected_improvement(0.9, 0.1, 1.0);
+        assert!(a > b);
+        let c = expected_improvement(1.0, 0.5, 1.0);
+        let d = expected_improvement(1.0, 0.01, 1.0);
+        assert!(c > d);
+    }
+
+    #[test]
+    fn bayesian_optimisation_finds_good_configurations() {
+        let space = DseSpace::paper_space(4, 512);
+        let cfg = DseConfig::quick(3);
+        let result = bayesian_optimize(&space, &cfg, synthetic_loss);
+        assert_eq!(result.evaluations, cfg.max_iters);
+        assert_eq!(result.history.len(), cfg.max_iters);
+        // History is monotonically non-increasing (best-so-far).
+        assert!(result.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        // The optimum keep ratio is 0.25; BO should land near it.
+        assert!(
+            (result.best.keep_ratio - 0.25).abs() <= 0.1,
+            "best keep ratio {} too far from optimum",
+            result.best.keep_ratio
+        );
+    }
+
+    #[test]
+    fn bayesian_beats_or_matches_random_search_on_average() {
+        let space = DseSpace::paper_space(6, 1024);
+        let mut bo_wins = 0;
+        for seed in 0..5u64 {
+            let cfg = DseConfig {
+                max_iters: 20,
+                ..DseConfig::quick(seed)
+            };
+            let bo = bayesian_optimize(&space, &cfg, synthetic_loss);
+            let rs = random_search(&space, &cfg, synthetic_loss);
+            if bo.best_objective <= rs.best_objective + 1e-9 {
+                bo_wins += 1;
+            }
+        }
+        assert!(bo_wins >= 3, "BO should win most seeds, won {bo_wins}/5");
+    }
+
+    #[test]
+    fn paper_weights_are_model_specific() {
+        let bert = DseConfig::paper_weights("BERT-Base", 1);
+        let llama = DseConfig::paper_weights("Llama-7B", 1);
+        assert!(llama.alpha > bert.alpha);
+        assert!(llama.beta > bert.beta);
+        let unknown = DseConfig::paper_weights("Mystery", 1);
+        assert!((unknown.alpha - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_search_history_is_monotone() {
+        let space = DseSpace::paper_space(2, 256);
+        let cfg = DseConfig::quick(9);
+        let r = random_search(&space, &cfg, synthetic_loss);
+        assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        assert_eq!(r.evaluations, cfg.max_iters);
+    }
+}

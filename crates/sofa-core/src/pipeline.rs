@@ -1,0 +1,452 @@
+//! The end-to-end SOFA dynamic-sparsity pipeline and its ablatable variants.
+//!
+//! The cross-stage tiled workflow of the paper (Fig. 6) is:
+//!
+//! 1. **Pre-compute** — DLZS predicts the attention matrix `Â` from the raw
+//!    tokens and the pre-converted `W_k` (no multiplications).
+//! 2. **Top-k** — SADS picks the vital Q-K pairs per tile.
+//! 3. **On-demand KV generation** — only the keys/values some query actually
+//!    selected are projected (`K_i = x_i·W_k`, `V_i = x_i·W_v`).
+//! 4. **Formal compute** — SU-FA consumes the sorted mask and produces the
+//!    attention output without re-deriving the softmax maximum.
+//!
+//! Each stage can be swapped for its baseline (4-bit multiply prediction,
+//! whole-row sorting, FlashAttention-2) so the ablation of paper Fig. 17 falls
+//! out of a single configurable pipeline.
+
+use crate::dlzs::{predict_scores_int4, predict_scores_vanilla_lz, DlzsPredictor, PredictionStats};
+use crate::flash::{FlashConfig, FlashVersion};
+use crate::ops::{OpCounts, OpKind};
+use crate::sads::{sads_topk, SadsConfig};
+use crate::sufa::{sorted_updating_attention, SuFaOrder, SuFaStats};
+use crate::topk::{resolve_k, topk_exact, TopKMask};
+use crate::SofaError;
+use sofa_model::AttentionWorkload;
+use sofa_tensor::Matrix;
+
+/// Which prediction scheme the pre-compute stage uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionScheme {
+    /// SOFA's differential leading-zero summation.
+    Dlzs,
+    /// 4-bit integer multiplication (prior-work baseline).
+    Int4Multiply,
+    /// Vanilla leading-zero scheme converting both operands.
+    VanillaLz,
+}
+
+/// Which sorting scheme the top-k stage uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortingScheme {
+    /// SOFA's sphere-search aided distributed sorting.
+    Sads,
+    /// Whole-row exact sorting (prior-work baseline).
+    FullSort,
+}
+
+/// Which formal-compute scheme processes the selected pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormalScheme {
+    /// SOFA's sorted-updating FlashAttention with the given order.
+    SuFa(SuFaOrder),
+    /// FlashAttention over the gathered selected keys (prior-work baseline).
+    Flash(FlashVersion),
+}
+
+/// Configuration of the SOFA pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Fraction of keys kept per query row (top-k / S).
+    pub keep_ratio: f64,
+    /// Cross-stage tile size `Bc` (drives both SADS segmentation and the
+    /// formal-compute tiling).
+    pub tile_size: usize,
+    /// SADS sphere-search radius as a fraction of the segment range.
+    pub radius_frac: f64,
+    /// SADS adjustive-exchange iterations.
+    pub refine_iters: usize,
+    /// Pre-compute scheme.
+    pub prediction: PredictionScheme,
+    /// Top-k scheme.
+    pub sorting: SortingScheme,
+    /// Formal-compute scheme.
+    pub formal: FormalScheme,
+}
+
+impl PipelineConfig {
+    /// Creates the default SOFA configuration (DLZS + SADS + descending SU-FA)
+    /// with the given keep ratio and tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SofaError::InvalidConfig`] if `keep_ratio` is outside `(0, 1]`
+    /// or `tile_size == 0`.
+    pub fn new(keep_ratio: f64, tile_size: usize) -> Result<Self, SofaError> {
+        if !(keep_ratio > 0.0 && keep_ratio <= 1.0) {
+            return Err(SofaError::InvalidConfig {
+                param: "keep_ratio",
+                reason: format!("must be in (0, 1], got {keep_ratio}"),
+            });
+        }
+        if tile_size == 0 {
+            return Err(SofaError::InvalidConfig {
+                param: "tile_size",
+                reason: "must be positive".to_string(),
+            });
+        }
+        Ok(PipelineConfig {
+            keep_ratio,
+            tile_size,
+            radius_frac: 0.5,
+            refine_iters: 2,
+            prediction: PredictionScheme::Dlzs,
+            sorting: SortingScheme::Sads,
+            formal: FormalScheme::SuFa(SuFaOrder::Descending),
+        })
+    }
+
+    /// The prior-work baseline: 4-bit multiply prediction, whole-row sorting
+    /// and FlashAttention-2 over the selected keys.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelineConfig::new`].
+    pub fn baseline(keep_ratio: f64, tile_size: usize) -> Result<Self, SofaError> {
+        let mut cfg = Self::new(keep_ratio, tile_size)?;
+        cfg.prediction = PredictionScheme::Int4Multiply;
+        cfg.sorting = SortingScheme::FullSort;
+        cfg.formal = FormalScheme::Flash(FlashVersion::V2);
+        Ok(cfg)
+    }
+
+    /// Replaces the prediction scheme (builder style).
+    pub fn with_prediction(mut self, scheme: PredictionScheme) -> Self {
+        self.prediction = scheme;
+        self
+    }
+
+    /// Replaces the sorting scheme (builder style).
+    pub fn with_sorting(mut self, scheme: SortingScheme) -> Self {
+        self.sorting = scheme;
+        self
+    }
+
+    /// Replaces the formal-compute scheme (builder style).
+    pub fn with_formal(mut self, scheme: FormalScheme) -> Self {
+        self.formal = scheme;
+        self
+    }
+}
+
+/// Result of running the pipeline on one attention workload.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The sparse attention output, shape `(queries, head_dim)`.
+    pub output: Matrix,
+    /// The top-k mask the formal stage consumed.
+    pub mask: TopKMask,
+    /// Operation/traffic statistics of the prediction stage.
+    pub prediction: PredictionStats,
+    /// Operation counts of the top-k sorting stage.
+    pub sorting_ops: OpCounts,
+    /// Operation counts of on-demand K/V generation.
+    pub kv_generation_ops: OpCounts,
+    /// Operation counts of the formal compute stage.
+    pub formal_ops: OpCounts,
+    /// SU-FA statistics (zero if the formal stage was FlashAttention).
+    pub sufa_stats: SuFaStats,
+    /// Number of distinct keys that had to be generated on demand.
+    pub keys_generated: usize,
+}
+
+impl PipelineResult {
+    /// Total operation counts across all stages.
+    pub fn total_ops(&self) -> OpCounts {
+        self.prediction.ops + self.sorting_ops + self.kv_generation_ops + self.formal_ops
+    }
+
+    /// Total normalised complexity across all stages.
+    pub fn normalized_complexity(&self) -> f64 {
+        self.total_ops().normalized_complexity()
+    }
+}
+
+/// The configurable SOFA pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SofaPipeline {
+    cfg: PipelineConfig,
+}
+
+impl SofaPipeline {
+    /// Creates a pipeline from a configuration.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        SofaPipeline { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Runs the full pipeline on one workload.
+    pub fn run(&self, w: &AttentionWorkload) -> PipelineResult {
+        let s = w.seq_len();
+        let k = resolve_k(s, self.cfg.keep_ratio);
+
+        // Stage 1: prediction.
+        let mut prediction = PredictionStats::default();
+        let predicted_scores = match self.cfg.prediction {
+            PredictionScheme::Dlzs => {
+                let predictor = DlzsPredictor::prepare(&w.wk);
+                let (scores, stats) = predictor.predict(&w.x, &w.q);
+                prediction = stats;
+                scores
+            }
+            PredictionScheme::Int4Multiply => {
+                predict_scores_int4(&w.x, &w.wk, &w.q, &mut prediction)
+            }
+            PredictionScheme::VanillaLz => {
+                predict_scores_vanilla_lz(&w.x, &w.wk, &w.q, &mut prediction)
+            }
+        };
+
+        // Stage 2: top-k sorting.
+        let (mask, sorting_ops) = match self.cfg.sorting {
+            SortingScheme::Sads => {
+                let sads = SadsConfig::from_tile_size(
+                    s,
+                    self.cfg.tile_size,
+                    self.cfg.radius_frac,
+                    self.cfg.refine_iters,
+                );
+                sads_topk(&predicted_scores, k, &sads)
+            }
+            SortingScheme::FullSort => {
+                let mut ops = OpCounts::new();
+                let mask = topk_exact(&predicted_scores, k, &mut ops);
+                (mask, ops)
+            }
+        };
+
+        // Stage 3: on-demand KV generation — only the keys any query needs.
+        let needed = mask.union_of_keys();
+        let mut kv_generation_ops = OpCounts::new();
+        let (keys, values) = generate_kv_on_demand(w, &needed, &mut kv_generation_ops);
+
+        // Stage 4: formal compute.
+        let mut formal_ops = OpCounts::new();
+        let (output, sufa_stats) = match self.cfg.formal {
+            FormalScheme::SuFa(order) => {
+                sorted_updating_attention(&w.q, &keys, &values, &mask, order, &mut formal_ops)
+            }
+            FormalScheme::Flash(version) => (
+                flash_over_mask(
+                    &w.q,
+                    &keys,
+                    &values,
+                    &mask,
+                    &FlashConfig::new(self.cfg.tile_size, version),
+                    &mut formal_ops,
+                ),
+                SuFaStats::default(),
+            ),
+        };
+
+        PipelineResult {
+            output,
+            mask,
+            prediction,
+            sorting_ops,
+            kv_generation_ops,
+            formal_ops,
+            sufa_stats,
+            keys_generated: needed.len(),
+        }
+    }
+}
+
+/// Generates only the needed K/V rows (`K_i = x_i·W_k`, `V_i = x_i·W_v`),
+/// leaving unneeded rows zero. Counts one multiply and one add per MAC.
+fn generate_kv_on_demand(
+    w: &AttentionWorkload,
+    needed: &[usize],
+    ops: &mut OpCounts,
+) -> (Matrix, Matrix) {
+    let d = w.wk.cols();
+    let n = w.x.cols();
+    let mut k = Matrix::zeros(w.seq_len(), d);
+    let mut v = Matrix::zeros(w.seq_len(), d);
+    for &row in needed {
+        let xrow = w.x.row(row);
+        for j in 0..d {
+            let mut ka = 0.0f32;
+            let mut va = 0.0f32;
+            for (i, &x) in xrow.iter().enumerate() {
+                ka += x * w.wk.get(i, j);
+                va += x * w.wv.get(i, j);
+            }
+            k.set(row, j, ka);
+            v.set(row, j, va);
+        }
+        ops.record(OpKind::Mul, 2 * (n * d) as u64);
+        ops.record(OpKind::Add, 2 * (n * d) as u64);
+    }
+    (k, v)
+}
+
+/// Baseline formal compute: per query row, gather the selected keys/values and
+/// run FlashAttention over them (order-agnostic — it re-derives the maximum).
+fn flash_over_mask(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: &TopKMask,
+    cfg: &FlashConfig,
+    ops: &mut OpCounts,
+) -> Matrix {
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    for i in 0..q.rows() {
+        let selected = mask.row(i);
+        if selected.is_empty() {
+            continue;
+        }
+        let qi = q.select_rows(&[i]);
+        // Gather in ascending key order (the baseline has no rank information).
+        let mut idx = selected.to_vec();
+        idx.sort_unstable();
+        let ki = k.select_rows(&idx);
+        let vi = v.select_rows(&idx);
+        let oi = crate::flash::flash_attention(&qi, &ki, &vi, cfg, ops);
+        out.row_mut(i).copy_from_slice(oi.row(0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_model::ScoreDistribution;
+    use sofa_tensor::stats::mean_row_cosine;
+
+    fn workload() -> AttentionWorkload {
+        AttentionWorkload::generate(&ScoreDistribution::bert_like(), 8, 128, 48, 32, 321)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PipelineConfig::new(0.0, 16).is_err());
+        assert!(PipelineConfig::new(1.1, 16).is_err());
+        assert!(PipelineConfig::new(0.5, 0).is_err());
+        assert!(PipelineConfig::new(0.25, 16).is_ok());
+        assert!(PipelineConfig::baseline(0.25, 16).is_ok());
+    }
+
+    #[test]
+    fn sofa_pipeline_output_approximates_dense() {
+        let w = workload();
+        let cfg = PipelineConfig::new(0.3, 16).unwrap();
+        let result = SofaPipeline::new(cfg).run(&w);
+        assert_eq!(result.output.shape(), (8, 32));
+        let dense = w.dense_output();
+        let cos = mean_row_cosine(&result.output, &dense);
+        assert!(cos > 0.9, "sparse output should track dense output: {cos}");
+    }
+
+    #[test]
+    fn pipeline_respects_keep_ratio() {
+        let w = workload();
+        let cfg = PipelineConfig::new(0.25, 16).unwrap();
+        let result = SofaPipeline::new(cfg).run(&w);
+        assert!((result.mask.keep_ratio() - 0.25).abs() < 0.02);
+        assert!(result.keys_generated <= w.seq_len());
+        assert!(result.keys_generated >= 32, "several keys must be generated");
+    }
+
+    #[test]
+    fn on_demand_kv_generates_fewer_keys_than_full() {
+        let w = workload();
+        let cfg = PipelineConfig::new(0.1, 16).unwrap();
+        let result = SofaPipeline::new(cfg).run(&w);
+        assert!(
+            result.keys_generated < w.seq_len(),
+            "only {} of {} keys should be generated",
+            result.keys_generated,
+            w.seq_len()
+        );
+    }
+
+    #[test]
+    fn sofa_is_cheaper_than_baseline_pipeline() {
+        // Fig. 17: the full SOFA stack reduces normalized complexity versus
+        // 4-bit-multiply prediction + whole-row sort + FA-2.
+        let w = workload();
+        let sofa = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap()).run(&w);
+        let base = SofaPipeline::new(PipelineConfig::baseline(0.25, 16).unwrap()).run(&w);
+        assert!(
+            sofa.normalized_complexity() < base.normalized_complexity(),
+            "SOFA {} should be cheaper than baseline {}",
+            sofa.normalized_complexity(),
+            base.normalized_complexity()
+        );
+    }
+
+    #[test]
+    fn ablation_is_monotonic() {
+        // Each SOFA component should reduce (or at least not increase) the
+        // total complexity: baseline → +DLZS → +SADS → +SU-FA.
+        let w = workload();
+        let keep = 0.25;
+        let bc = 16;
+        let baseline = SofaPipeline::new(PipelineConfig::baseline(keep, bc).unwrap()).run(&w);
+        let dlzs = SofaPipeline::new(
+            PipelineConfig::baseline(keep, bc)
+                .unwrap()
+                .with_prediction(PredictionScheme::Dlzs),
+        )
+        .run(&w);
+        let dlzs_sads = SofaPipeline::new(
+            PipelineConfig::baseline(keep, bc)
+                .unwrap()
+                .with_prediction(PredictionScheme::Dlzs)
+                .with_sorting(SortingScheme::Sads),
+        )
+        .run(&w);
+        let full = SofaPipeline::new(PipelineConfig::new(keep, bc).unwrap()).run(&w);
+
+        let c0 = baseline.normalized_complexity();
+        let c1 = dlzs.normalized_complexity();
+        let c2 = dlzs_sads.normalized_complexity();
+        let c3 = full.normalized_complexity();
+        assert!(c1 < c0, "DLZS should reduce complexity ({c1} vs {c0})");
+        assert!(c2 <= c1, "SADS should not increase complexity ({c2} vs {c1})");
+        assert!(c3 <= c2, "SU-FA should not increase complexity ({c3} vs {c2})");
+    }
+
+    #[test]
+    fn flash_formal_stage_matches_sufa_output() {
+        let w = workload();
+        let sufa_cfg = PipelineConfig::new(0.3, 16).unwrap();
+        let flash_cfg = sufa_cfg.with_formal(FormalScheme::Flash(FlashVersion::V2));
+        let a = SofaPipeline::new(sufa_cfg).run(&w);
+        let b = SofaPipeline::new(flash_cfg).run(&w);
+        // Same prediction + sorting configuration ⇒ same mask ⇒ same output.
+        let cos = mean_row_cosine(&a.output, &b.output);
+        assert!(cos > 0.999, "formal stages disagree: {cos}");
+    }
+
+    #[test]
+    fn total_ops_sums_stages() {
+        let w = workload();
+        let r = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap()).run(&w);
+        let total = r.total_ops();
+        assert_eq!(
+            total.shift,
+            r.prediction.ops.shift
+                + r.sorting_ops.shift
+                + r.kv_generation_ops.shift
+                + r.formal_ops.shift
+        );
+        assert!(total.total_ops() > 0);
+        assert!(!format!("{:?}", r.sufa_stats).is_empty());
+    }
+}

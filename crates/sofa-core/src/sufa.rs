@@ -1,0 +1,324 @@
+//! Sorted-Updating FlashAttention — SU-FA (paper §III-C, Fig. 10).
+//!
+//! The top-k stage already knows the (predicted) rank order of the selected
+//! Q-K pairs. SU-FA exploits that: if the selected keys are processed in
+//! *descending* predicted-score order, the running maximum of the online
+//! softmax is simply the first score processed, so the per-tile maximum
+//! refresh, the correction exponentiation and the accumulator rescaling of
+//! FlashAttention all disappear from the steady state. The update for the
+//! denominator collapses to `l ← l + exp(x − m)` — one exponentiation and one
+//! addition (Eq. (2) of Fig. 10) instead of the exp + multiply + add of the
+//! ascending order (Eq. (1)).
+//!
+//! Because the prediction is approximate (DLZS is a log-domain estimate), the
+//! true maximum may show up later. The *max-ensuring* path of the hardware
+//! (and of this implementation) detects that with a single comparison and
+//! rescales the accumulated state — a rare event whose cost is also counted.
+
+use crate::ops::{OpCounts, OpKind};
+use crate::topk::TopKMask;
+use sofa_tensor::Matrix;
+
+/// Processing order of the selected keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuFaOrder {
+    /// Highest predicted score first (the paper's default; cheapest updates).
+    Descending,
+    /// Lowest predicted score first (kept for the ablation of Fig. 10(a)).
+    Ascending,
+}
+
+/// Statistics of one SU-FA execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuFaStats {
+    /// Number of times the max-ensuring circuit had to correct the running
+    /// maximum (i.e. the prediction order was violated).
+    pub max_corrections: u64,
+    /// Number of selected Q-K pairs processed.
+    pub pairs_processed: u64,
+}
+
+/// Computes sparse attention over the keys selected by `mask`, processing them
+/// in the order dictated by `order`, and counts every primitive operation.
+///
+/// The result is numerically identical (up to floating-point rounding) to
+/// [`sofa_tensor::attention::masked_attention`] with the same mask: the
+/// max-ensuring path keeps the computation exact even when the predicted
+/// order is wrong.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the mask.
+pub fn sorted_updating_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: &TopKMask,
+    order: SuFaOrder,
+    ops: &mut OpCounts,
+) -> (Matrix, SuFaStats) {
+    assert_eq!(q.cols(), k.cols(), "Q and K head dims must match");
+    assert_eq!(k.rows(), v.rows(), "K and V lengths must match");
+    assert_eq!(mask.queries(), q.rows(), "mask must cover every query");
+    assert_eq!(mask.seq_len(), k.rows(), "mask must cover every key");
+
+    let d = q.cols();
+    let dv = v.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut out = Matrix::zeros(q.rows(), dv);
+    let mut stats = SuFaStats::default();
+
+    for i in 0..q.rows() {
+        let qrow = q.row(i);
+        let selected = mask.row(i);
+        if selected.is_empty() {
+            continue;
+        }
+        // The mask is stored in descending predicted order; ascending simply
+        // reverses the walk.
+        let indices: Vec<usize> = match order {
+            SuFaOrder::Descending => selected.to_vec(),
+            SuFaOrder::Ascending => selected.iter().rev().copied().collect(),
+        };
+
+        let mut m = f32::NEG_INFINITY;
+        let mut l = 0.0f32;
+        let mut acc = vec![0.0f32; dv];
+        let mut first = true;
+
+        for &j in &indices {
+            stats.pairs_processed += 1;
+            // Score of the selected pair.
+            let krow = k.row(j);
+            let mut x = 0.0f32;
+            for (a, b) in qrow.iter().zip(krow.iter()) {
+                x += a * b;
+            }
+            x *= scale;
+            ops.record(OpKind::Mul, d as u64);
+            ops.record(OpKind::Add, d as u64);
+
+            if first {
+                // The scheduler guarantees the first processed score is the
+                // predicted maximum; it becomes the reference for free.
+                m = x;
+                first = false;
+                l = 1.0;
+                ops.record(OpKind::Exp, 1); // exp(0) evaluated by the unit
+                let vrow = v.row(j);
+                for (a, &vv) in acc.iter_mut().zip(vrow.iter()) {
+                    *a += vv;
+                }
+                ops.record(OpKind::Mul, dv as u64);
+                ops.record(OpKind::Add, dv as u64);
+                continue;
+            }
+
+            // Max-ensuring comparison (AP module, mode 1 at tile switch /
+            // mode 0 otherwise — one comparison either way).
+            ops.record(OpKind::Cmp, 1);
+            if x > m {
+                // Prediction order violated: rescale accumulated state.
+                stats.max_corrections += 1;
+                let corr = (m - x).exp();
+                ops.record(OpKind::Exp, 1);
+                l *= corr;
+                ops.record(OpKind::Mul, 1);
+                for a in acc.iter_mut() {
+                    *a *= corr;
+                }
+                ops.record(OpKind::Mul, dv as u64);
+                m = x;
+            }
+
+            match order {
+                SuFaOrder::Descending => {
+                    // Eq. (2): l ← l + exp(x − m). One exp, one add.
+                    let p = (x - m).exp();
+                    ops.record(OpKind::Exp, 1);
+                    l += p;
+                    ops.record(OpKind::Add, 1);
+                    let vrow = v.row(j);
+                    for (a, &vv) in acc.iter_mut().zip(vrow.iter()) {
+                        *a += p * vv;
+                    }
+                    ops.record(OpKind::Mul, dv as u64);
+                    ops.record(OpKind::Add, dv as u64);
+                }
+                SuFaOrder::Ascending => {
+                    // Eq. (1): the new score is (predictedly) the new maximum,
+                    // so the previous denominator and accumulator must be
+                    // rescaled every step: one extra exp-multiply pair.
+                    let p = (x - m).exp();
+                    ops.record(OpKind::Exp, 1);
+                    let corr = if x >= m { (m - x).exp() } else { 1.0 };
+                    ops.record(OpKind::Exp, 1);
+                    ops.record(OpKind::Mul, 1);
+                    l = l * corr + p;
+                    ops.record(OpKind::Add, 1);
+                    let vrow = v.row(j);
+                    for a in acc.iter_mut() {
+                        *a *= corr;
+                    }
+                    ops.record(OpKind::Mul, dv as u64);
+                    for (a, &vv) in acc.iter_mut().zip(vrow.iter()) {
+                        *a += p * vv;
+                    }
+                    ops.record(OpKind::Mul, dv as u64);
+                    ops.record(OpKind::Add, dv as u64);
+                }
+            }
+        }
+
+        // Final normalisation.
+        let orow = out.row_mut(i);
+        for (o, a) in orow.iter_mut().zip(acc.iter()) {
+            *o = a / l;
+        }
+        ops.record(OpKind::Div, dv as u64);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::{flash_attention, FlashConfig, FlashVersion};
+    use crate::topk::{topk_exact, TopKMask};
+    use sofa_model::{AttentionWorkload, ScoreDistribution};
+    use sofa_tensor::attention::{attention_scores, masked_attention};
+    use sofa_tensor::stats::max_abs_diff;
+
+    fn workload(queries: usize, s: usize) -> (Matrix, Matrix, Matrix) {
+        let w = AttentionWorkload::generate(
+            &ScoreDistribution::llama_like(),
+            queries,
+            s,
+            32,
+            16,
+            17,
+        );
+        (w.q.clone(), w.keys(), w.values())
+    }
+
+    fn exact_mask(q: &Matrix, k: &Matrix, keep: usize) -> TopKMask {
+        let scores = attention_scores(q, k);
+        let mut ops = OpCounts::new();
+        topk_exact(&scores, keep, &mut ops)
+    }
+
+    #[test]
+    fn sufa_matches_masked_dense_attention() {
+        let (q, k, v) = workload(6, 96);
+        let mask = exact_mask(&q, &k, 24);
+        let want = masked_attention(&q, &k, &v, &mask.to_bool_rows());
+        for order in [SuFaOrder::Descending, SuFaOrder::Ascending] {
+            let mut ops = OpCounts::new();
+            let (got, _) = sorted_updating_attention(&q, &k, &v, &mask, order, &mut ops);
+            assert!(
+                max_abs_diff(&got, &want) < 1e-3,
+                "{order:?} output diverges from masked dense"
+            );
+        }
+    }
+
+    #[test]
+    fn full_mask_sufa_matches_flash_attention() {
+        let (q, k, v) = workload(4, 64);
+        let mask = exact_mask(&q, &k, 64);
+        let mut ops = OpCounts::new();
+        let (got, _) =
+            sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
+        let mut fops = OpCounts::new();
+        let want = flash_attention(&q, &k, &v, &FlashConfig::new(16, FlashVersion::V2), &mut fops);
+        assert!(max_abs_diff(&got, &want) < 1e-3);
+    }
+
+    #[test]
+    fn descending_needs_no_corrections_with_exact_order() {
+        let (q, k, v) = workload(8, 128);
+        let mask = exact_mask(&q, &k, 32);
+        let mut ops = OpCounts::new();
+        let (_, stats) =
+            sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
+        assert_eq!(
+            stats.max_corrections, 0,
+            "exactly ordered masks never trigger the max-ensuring path"
+        );
+        assert_eq!(stats.pairs_processed, 8 * 32);
+    }
+
+    #[test]
+    fn descending_is_cheaper_than_ascending() {
+        // Fig. 10(a): the descending update needs one exp + one add, the
+        // ascending update needs an extra exp and multiplication.
+        let (q, k, v) = workload(8, 128);
+        let mask = exact_mask(&q, &k, 32);
+        let mut desc = OpCounts::new();
+        let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut desc);
+        let mut asc = OpCounts::new();
+        let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Ascending, &mut asc);
+        assert!(desc.exp < asc.exp);
+        assert!(desc.normalized_complexity() < asc.normalized_complexity());
+    }
+
+    #[test]
+    fn sufa_is_cheaper_than_fa2_on_the_same_sparse_budget() {
+        // SU-FA over the selected 25% of keys must cost less than FA-2 over
+        // the full row, and also less than FA-2 restricted to the same number
+        // of keys (because it avoids per-tile max refresh work).
+        let (q, k, v) = workload(8, 256);
+        let keep = 64;
+        let mask = exact_mask(&q, &k, keep);
+        let mut sufa = OpCounts::new();
+        let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut sufa);
+
+        let mut fa2_full = OpCounts::new();
+        let _ = flash_attention(&q, &k, &v, &FlashConfig::new(16, FlashVersion::V2), &mut fa2_full);
+        assert!(sufa.normalized_complexity() < fa2_full.normalized_complexity());
+
+        // FA-2 on a context truncated to `keep` keys (same MAC count).
+        let kk = k.select_rows(&(0..keep).collect::<Vec<_>>());
+        let vv = v.select_rows(&(0..keep).collect::<Vec<_>>());
+        let mut fa2_small = OpCounts::new();
+        let _ = flash_attention(&q, &kk, &vv, &FlashConfig::new(16, FlashVersion::V2), &mut fa2_small);
+        assert!(
+            sufa.exp <= fa2_small.exp,
+            "SU-FA exp count {} should not exceed FA-2-over-k {}",
+            sufa.exp,
+            fa2_small.exp
+        );
+    }
+
+    #[test]
+    fn noisy_prediction_order_triggers_corrections_but_stays_exact() {
+        let (q, k, v) = workload(5, 80);
+        // Build a deliberately mis-ordered mask: correct set, wrong order.
+        let exact = exact_mask(&q, &k, 20);
+        let shuffled: Vec<Vec<usize>> = exact
+            .iter()
+            .map(|r| {
+                let mut v = r.to_vec();
+                v.reverse(); // worst case: ascending true order
+                v
+            })
+            .collect();
+        let bad_mask = TopKMask::new(exact.seq_len(), shuffled);
+        let want = masked_attention(&q, &k, &v, &bad_mask.to_bool_rows());
+        let mut ops = OpCounts::new();
+        let (got, stats) =
+            sorted_updating_attention(&q, &k, &v, &bad_mask, SuFaOrder::Descending, &mut ops);
+        assert!(stats.max_corrections > 0);
+        assert!(max_abs_diff(&got, &want) < 1e-3, "max-ensure keeps it exact");
+    }
+
+    #[test]
+    fn empty_mask_rows_produce_zero_output() {
+        let (q, k, v) = workload(2, 16);
+        let mask = TopKMask::new(16, vec![vec![], vec![3, 1]]);
+        let mut ops = OpCounts::new();
+        let (out, _) = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
+        assert!(out.row(0).iter().all(|&x| x == 0.0));
+        assert!(out.row(1).iter().any(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Accelerator comparison scenario: reproduce the Table II style comparison of
+//! SOFA against the eight SOTA dynamic-sparsity accelerators and the GPU/TPU
+//! gain breakdown of Fig. 21.
+//!
+//! ```bash
+//! cargo run --example accelerator_comparison
+//! ```
+
+use sofa_baselines::accelerators::sota_accelerators;
+use sofa_baselines::gpu::GpuModel;
+
+fn main() {
+    println!("SOTA accelerator comparison (normalised to 28nm / 1.0V, 137-GOP attention slice):");
+    println!(
+        "{:>10}  {:>8}  {:>14}  {:>16}  {:>14}",
+        "name", "loss", "device GOPS/W", "area GOPS/mm2", "latency (ms)"
+    );
+    let mut rows = sota_accelerators();
+    rows.sort_by(|a, b| {
+        a.normalized_latency_s(137.0, 128, 1e9)
+            .partial_cmp(&b.normalized_latency_s(137.0, 128, 1e9))
+            .unwrap()
+    });
+    for a in rows {
+        println!(
+            "{:>10}  {:>7.1}%  {:>14.0}  {:>16.0}  {:>14.0}",
+            a.name,
+            a.accuracy_loss * 100.0,
+            a.device_energy_efficiency(),
+            a.area_efficiency_28nm(),
+            a.normalized_latency_s(137.0, 128, 1e9) * 1e3
+        );
+    }
+
+    println!();
+    println!("Fig. 21 gain breakdown (cumulative speed-up when SOFA mechanisms are added):");
+    for model in [GpuModel::a100(), GpuModel::tpu()] {
+        println!("  {:?}", model.platform);
+        for (step, speedup) in model.cumulative_speedups() {
+            println!("    {:<16} {:>6.2}x", step, speedup);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration scenario: search the per-layer tile size and
+//! top-k of a small model with Bayesian optimisation (paper §III-D, Alg. 1)
+//! and compare the result with random search.
+//!
+//! ```bash
+//! cargo run --example design_space_exploration
+//! ```
+
+use sofa_core::accuracy;
+use sofa_core::dse::{bayesian_optimize, random_search, DseConfig, DseSpace};
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+
+fn main() {
+    let layers = 4;
+    let seq_len = 512;
+    let space = DseSpace::paper_space(layers, seq_len);
+    println!(
+        "Search space: {} layers x {} tile options x {} keep options = {:.2e} configurations",
+        layers,
+        space.tile_options.len(),
+        space.keep_options.len(),
+        space.cardinality()
+    );
+
+    // Loss term: proxy loss of the SOFA pipeline on a representative workload.
+    let workload =
+        AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 256, 64, 32, 7);
+    let dense = workload.dense_output();
+    let loss_fn = |c: &sofa_core::dse::DseCandidate| {
+        let bc = (c.tile_sizes.iter().sum::<usize>() / c.tile_sizes.len()).max(2);
+        accuracy::evaluate_keep_ratio(&workload, &dense, c.keep_ratio, bc).loss
+    };
+
+    let cfg = DseConfig {
+        max_iters: 30,
+        ..DseConfig::paper_weights("BERT-Base", 11)
+    };
+    let bo = bayesian_optimize(&space, &cfg, loss_fn);
+    let rs = random_search(&space, &cfg, loss_fn);
+
+    println!("Bayesian optimisation ({} evaluations)", bo.evaluations);
+    println!("  best objective : {:.4}", bo.best_objective);
+    println!("  best keep ratio: {:.0}%", bo.best.keep_ratio * 100.0);
+    println!("  best tile sizes: {:?}", bo.best.tile_sizes);
+    println!("Random search baseline");
+    println!("  best objective : {:.4}", rs.best_objective);
+    println!();
+    println!("Convergence (best objective after each evaluation):");
+    for (i, v) in bo.history.iter().enumerate() {
+        if i % 5 == 0 || i + 1 == bo.history.len() {
+            println!("  eval {:>3}: {:.4}", i + 1, v);
+        }
+    }
+}

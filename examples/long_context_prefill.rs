@@ -1,0 +1,44 @@
+//! Long-context prefill scenario (the paper's motivating LTPP workload):
+//! estimate latency, traffic and energy of the SOFA accelerator against a
+//! whole-row dynamic-sparsity accelerator and the A100 GPU for a Llama-7B
+//! layer at several sequence lengths.
+//!
+//! ```bash
+//! cargo run --example long_context_prefill
+//! ```
+
+use sofa_baselines::gpu::{GpuModel, SoftwareStack};
+use sofa_hw::accel::{AttentionTask, SofaAccelerator, WholeRowAccelerator};
+use sofa_hw::config::HwConfig;
+use sofa_model::config::ModelConfig;
+
+fn main() {
+    let cfg = HwConfig::paper_default();
+    let sofa = SofaAccelerator::new(cfg);
+    let whole_row = WholeRowAccelerator::new(cfg);
+    let gpu = GpuModel::a100();
+
+    println!("Long-context prefill: Llama-7B attention layer, 128 queries in flight");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>10}  {:>12}",
+        "seq_len", "SOFA (ms)", "whole-row", "GPU dense", "DRAM ratio", "SOFA GOPS/W"
+    );
+    for seq_len in [4096usize, 8192, 16384, 32768] {
+        let model = ModelConfig::llama_7b(seq_len);
+        let task = AttentionTask::from_model(&model, 128, 0.2, 16);
+        let s = sofa.simulate(&task);
+        let w = whole_row.simulate(&task);
+        let g = gpu.dense_attention_time_s(&task) / gpu.speedup(&SoftwareStack::dense());
+        println!(
+            "{:>8}  {:>12.3}  {:>12.3}  {:>12.3}  {:>10.2}  {:>12.0}",
+            seq_len,
+            s.latency_s * 1e3,
+            w.latency_s * 1e3,
+            g * 1e3,
+            w.dram_bytes as f64 / s.dram_bytes as f64,
+            s.energy_efficiency_gops_w(),
+        );
+    }
+    println!();
+    println!("DRAM ratio = whole-row traffic / SOFA traffic (higher = more saved by cross-stage tiling)");
+}

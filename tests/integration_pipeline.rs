@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: the SOFA algorithm pipeline end to end, from
+//! workload generation (`sofa-model`) through prediction / sorting / SU-FA
+//! (`sofa-core`) to the accuracy proxy against the dense reference
+//! (`sofa-tensor`).
+
+use sofa_core::accuracy::{proxy_loss, smallest_keep_ratio_within_budget};
+use sofa_core::pipeline::{
+    FormalScheme, PipelineConfig, PredictionScheme, SofaPipeline, SortingScheme,
+};
+use sofa_core::sufa::SuFaOrder;
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_tensor::stats::mean_row_cosine;
+
+fn workloads() -> Vec<AttentionWorkload> {
+    vec![
+        AttentionWorkload::generate(&ScoreDistribution::bert_like(), 8, 192, 48, 32, 1),
+        AttentionWorkload::generate(&ScoreDistribution::gpt_like(), 8, 192, 48, 32, 2),
+        AttentionWorkload::generate(&ScoreDistribution::llama_like(), 8, 192, 48, 32, 3),
+        AttentionWorkload::generate(&ScoreDistribution::vit_like(), 8, 192, 48, 32, 4),
+    ]
+}
+
+#[test]
+fn sofa_tracks_dense_attention_across_model_families() {
+    for w in workloads() {
+        let result = SofaPipeline::new(PipelineConfig::new(0.3, 16).unwrap()).run(&w);
+        let dense = w.dense_output();
+        let cos = mean_row_cosine(&result.output, &dense);
+        assert!(cos > 0.85, "cosine {cos} too low for this distribution");
+    }
+}
+
+#[test]
+fn sofa_is_cheaper_than_every_partial_baseline() {
+    // The full SOFA configuration must not cost more than any configuration
+    // that swaps one of its stages for the prior-work baseline.
+    let w = &workloads()[0];
+    let full = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap())
+        .run(w)
+        .normalized_complexity();
+    let variants = [
+        PipelineConfig::new(0.25, 16)
+            .unwrap()
+            .with_prediction(PredictionScheme::Int4Multiply),
+        PipelineConfig::new(0.25, 16)
+            .unwrap()
+            .with_sorting(SortingScheme::FullSort),
+        PipelineConfig::new(0.25, 16)
+            .unwrap()
+            .with_formal(FormalScheme::Flash(sofa_core::flash::FlashVersion::V2)),
+        PipelineConfig::new(0.25, 16)
+            .unwrap()
+            .with_formal(FormalScheme::SuFa(SuFaOrder::Ascending)),
+    ];
+    for v in variants {
+        let cost = SofaPipeline::new(v).run(w).normalized_complexity();
+        assert!(
+            full <= cost * 1.001,
+            "full SOFA ({full}) should not exceed variant {v:?} ({cost})"
+        );
+    }
+}
+
+#[test]
+fn accuracy_budget_search_is_consistent_with_direct_evaluation() {
+    let w = &workloads()[1];
+    let grid = [0.1, 0.2, 0.3, 0.5, 1.0];
+    let point = smallest_keep_ratio_within_budget(w, 0.02, &grid, 16);
+    // Re-running the pipeline at the chosen keep ratio must reproduce a loss
+    // within the budget (or the chosen ratio is the densest candidate).
+    let result = SofaPipeline::new(PipelineConfig::new(point.keep_ratio, 16).unwrap()).run(w);
+    let loss = proxy_loss(&result.output, &w.dense_output());
+    assert!(loss <= 0.02 + 1e-6 || (point.keep_ratio - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn denser_budgets_never_increase_loss() {
+    let w = &workloads()[2];
+    let dense = w.dense_output();
+    let mut last_loss = f64::INFINITY;
+    for keep in [0.05, 0.15, 0.35, 0.7, 1.0] {
+        let r = SofaPipeline::new(PipelineConfig::new(keep, 16).unwrap()).run(w);
+        let loss = proxy_loss(&r.output, &dense);
+        assert!(
+            loss <= last_loss + 5e-3,
+            "loss should not grow with keep ratio ({keep}): {loss} vs {last_loss}"
+        );
+        last_loss = loss.min(last_loss);
+    }
+}
+
+#[test]
+fn tile_size_changes_cost_but_not_correctness() {
+    let w = &workloads()[3];
+    let dense = w.dense_output();
+    for bc in [4usize, 16, 64] {
+        let r = SofaPipeline::new(PipelineConfig::new(0.3, bc).unwrap()).run(w);
+        let cos = mean_row_cosine(&r.output, &dense);
+        assert!(cos > 0.8, "tile {bc}: cosine {cos}");
+        assert!((r.mask.keep_ratio() - 0.3).abs() < 0.02);
+    }
+}

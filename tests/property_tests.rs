@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the core data structures and invariants
+//! of the SOFA reproduction.
+
+use proptest::prelude::*;
+use sofa_core::lze::{approx_mul_dlzs, approx_mul_vanilla, encode};
+use sofa_core::ops::OpCounts;
+use sofa_core::sads::{sads_topk_row, SadsConfig};
+use sofa_core::sufa::{sorted_updating_attention, SuFaOrder};
+use sofa_core::topk::{topk_exact, topk_row_exact, TopKMask};
+use sofa_tensor::attention::{attention_scores, masked_attention};
+use sofa_tensor::softmax::softmax_row;
+use sofa_tensor::stats::{max_abs_diff, recall};
+use sofa_tensor::Matrix;
+
+fn finite_row(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, 1..max_len)
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- softmax / numeric substrate ----------------
+
+    #[test]
+    fn softmax_is_a_probability_distribution(row in finite_row(64)) {
+        let p = softmax_row(&row);
+        prop_assert_eq!(p.len(), row.len());
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(row in finite_row(32), shift in -100.0f32..100.0) {
+        let a = softmax_row(&row);
+        let shifted: Vec<f32> = row.iter().map(|x| x + shift).collect();
+        let b = softmax_row(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_is_consistent_with_transpose(
+        a in small_matrix(4, 6),
+        b in small_matrix(5, 6),
+    ) {
+        let direct = a.matmul_transposed(&b).unwrap();
+        let via = a.matmul(&b.transpose()).unwrap();
+        prop_assert!(max_abs_diff(&direct, &via) < 1e-4);
+    }
+
+    // ---------------- leading-zero encoding ----------------
+
+    #[test]
+    fn dlzs_magnitude_is_within_factor_two(x in -127i32..=127, y in -127i32..=127) {
+        prop_assume!(x != 0 && y != 0);
+        let exact = (x as i64 * y as i64).abs();
+        let approx = approx_mul_dlzs(x, encode(y, 8)).abs();
+        prop_assert!(approx <= exact);
+        prop_assert!(2 * approx >= exact);
+    }
+
+    #[test]
+    fn dlzs_is_at_least_as_accurate_as_vanilla(x in -127i32..=127, y in -127i32..=127) {
+        let exact = x as i64 * y as i64;
+        let d = (exact - approx_mul_dlzs(x, encode(y, 8))).abs();
+        let v = (exact - approx_mul_vanilla(encode(x, 8), encode(y, 8))).abs();
+        prop_assert!(d <= v);
+    }
+
+    #[test]
+    fn lz_sign_follows_operand_signs(x in -127i32..=127, y in -127i32..=127) {
+        let got = approx_mul_dlzs(x, encode(y, 8));
+        let exact = x as i64 * y as i64;
+        prop_assert!(got.signum() == exact.signum() || got == 0 || exact == 0);
+    }
+
+    // ---------------- top-k and SADS ----------------
+
+    #[test]
+    fn exact_topk_returns_true_maxima(row in finite_row(128), k in 1usize..16) {
+        let mut ops = OpCounts::new();
+        let top = topk_row_exact(&row, k, &mut ops);
+        prop_assert_eq!(top.len(), k.min(row.len()));
+        // Every returned value must be >= every excluded value.
+        let selected: std::collections::HashSet<usize> = top.iter().copied().collect();
+        let min_sel = top.iter().map(|&i| row[i]).fold(f32::INFINITY, f32::min);
+        for (i, &v) in row.iter().enumerate() {
+            if !selected.contains(&i) {
+                prop_assert!(v <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sads_selection_is_valid_and_sized(row in finite_row(256), k in 1usize..32, segs in 1usize..8) {
+        let cfg = SadsConfig::new(segs, 0.5, 2).unwrap();
+        let mut ops = OpCounts::new();
+        let got = sads_topk_row(&row, k, &cfg, &mut ops);
+        prop_assert_eq!(got.len(), k.min(row.len()));
+        // No duplicates, all in range, sorted descending by value.
+        let set: std::collections::HashSet<usize> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), got.len());
+        prop_assert!(got.iter().all(|&i| i < row.len()));
+        for w in got.windows(2) {
+            prop_assert!(row[w[0]] >= row[w[1]]);
+        }
+        // The global argmax is always captured.
+        let argmax = (0..row.len()).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap()).unwrap();
+        prop_assert!(set.contains(&argmax) || row.iter().filter(|&&v| v == row[argmax]).count() > 1);
+    }
+
+    #[test]
+    fn sads_recall_of_exact_topk_is_never_terrible(seed in 0u64..500) {
+        use sofa_model::{ScoreDistribution, ScoreWorkload};
+        let w = ScoreWorkload::generate(&ScoreDistribution::bert_like(), 2, 128, seed);
+        let k = 32;
+        let (mask, _) = sofa_core::sads::sads_topk(&w.scores, k, &SadsConfig::paper_default());
+        let mut ops = OpCounts::new();
+        let exact = topk_exact(&w.scores, k, &mut ops);
+        for i in 0..2 {
+            prop_assert!(recall(mask.row(i), exact.row(i)) >= 0.5);
+        }
+    }
+
+    // ---------------- SU-FA exactness ----------------
+
+    #[test]
+    fn sufa_matches_masked_attention_for_random_masks(
+        q in small_matrix(3, 8),
+        k in small_matrix(24, 8),
+        v in small_matrix(24, 8),
+        keep in 1usize..24,
+    ) {
+        let scores = attention_scores(&q, &k);
+        let mut ops = OpCounts::new();
+        let mask = topk_exact(&scores, keep, &mut ops);
+        let want = masked_attention(&q, &k, &v, &mask.to_bool_rows());
+        for order in [SuFaOrder::Descending, SuFaOrder::Ascending] {
+            let mut ops = OpCounts::new();
+            let (got, _) = sorted_updating_attention(&q, &k, &v, &mask, order, &mut ops);
+            prop_assert!(max_abs_diff(&got, &want) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sufa_descending_never_uses_more_exp_than_ascending(
+        q in small_matrix(2, 8),
+        k in small_matrix(16, 8),
+        v in small_matrix(16, 8),
+    ) {
+        let scores = attention_scores(&q, &k);
+        let mut ops = OpCounts::new();
+        let mask = topk_exact(&scores, 8, &mut ops);
+        let mut d = OpCounts::new();
+        let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut d);
+        let mut a = OpCounts::new();
+        let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Ascending, &mut a);
+        prop_assert!(d.exp <= a.exp);
+    }
+
+    // ---------------- mask invariants ----------------
+
+    #[test]
+    fn mask_union_contains_every_row_index(rows in prop::collection::vec(
+        prop::collection::vec(0usize..64, 0..16), 1..8)
+    ) {
+        let mask = TopKMask::new(64, rows.clone());
+        let union: std::collections::HashSet<usize> = mask.union_of_keys().into_iter().collect();
+        for r in &rows {
+            for &i in r {
+                prop_assert!(union.contains(&i));
+            }
+        }
+        prop_assert!(mask.keep_ratio() <= 1.0 + 1e-9);
+    }
+}
