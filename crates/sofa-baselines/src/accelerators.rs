@@ -292,7 +292,11 @@ mod tests {
                 "core efficiency vs {}",
                 a.name
             );
-            assert!(sofa_area_eff > a.area_efficiency_28nm(), "area eff vs {}", a.name);
+            assert!(
+                sofa_area_eff > a.area_efficiency_28nm(),
+                "area eff vs {}",
+                a.name
+            );
         }
     }
 

@@ -2,7 +2,9 @@
 //! baselines (supports paper Fig. 17's pre-compute stage ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sofa_core::dlzs::{predict_scores_int4, predict_scores_vanilla_lz, DlzsPredictor, PredictionStats};
+use sofa_core::dlzs::{
+    predict_scores_int4, predict_scores_vanilla_lz, DlzsPredictor, PredictionStats,
+};
 use sofa_model::{AttentionWorkload, ScoreDistribution};
 use std::time::Duration;
 

@@ -20,6 +20,8 @@ fn main() {
         e::ablation_dse(),
         e::ablation_sufa_order(),
         e::ablation_rass(),
+        e::sim_cycle_vs_analytic(),
+        e::sim_stall_breakdown(),
     ] {
         table.print();
     }

@@ -1,0 +1,7 @@
+//! Prints the analytic-vs-cycle-level comparison and the per-stage
+//! busy/stall breakdown of the event-driven simulator (`sofa-sim`).
+fn main() {
+    sofa_bench::experiments::sim_cycle_vs_analytic().print();
+    println!();
+    sofa_bench::experiments::sim_stall_breakdown().print();
+}

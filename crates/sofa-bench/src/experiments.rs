@@ -23,10 +23,11 @@ use sofa_hw::energy::{module_power_mw, PowerBreakdown};
 use sofa_hw::rass;
 use sofa_model::config::ModelConfig;
 use sofa_model::distribution::measure_mixture;
-use sofa_model::profile::{ComputeBreakdown, LayerProfile, MemoryFootprint, normalized_oi};
+use sofa_model::profile::{normalized_oi, ComputeBreakdown, LayerProfile, MemoryFootprint};
 use sofa_model::suite::benchmark_suite;
 use sofa_model::workload::{AttentionWorkload, ScoreWorkload};
 use sofa_model::ScoreDistribution;
+use sofa_sim::CycleSim;
 use sofa_tensor::seeded_rng;
 
 /// A compact workload used by the algorithm-level experiments: large enough to
@@ -43,7 +44,16 @@ fn small_workload(seed: u64) -> AttentionWorkload {
 pub fn fig01_breakdown() -> Table {
     let mut t = Table::new(
         "Fig.1  Memory & computation breakdown (QKV / Attention / FFN)",
-        &["model", "seq_len", "mem QKV", "mem Atten", "mem FFN", "cmp QKV", "cmp Atten", "cmp FFN"],
+        &[
+            "model",
+            "seq_len",
+            "mem QKV",
+            "mem Atten",
+            "mem FFN",
+            "cmp QKV",
+            "cmp Atten",
+            "cmp FFN",
+        ],
     );
     let llama = ModelConfig::llama_7b(4096);
     let vit = ModelConfig::vit_base(4096);
@@ -81,7 +91,11 @@ pub fn fig03_mat() -> Table {
     cfg.token_sram_bytes = 2 * 1024 * 1024;
     let accel = WholeRowAccelerator::new(cfg);
     let cases = [
-        ("BERT-Large", ModelConfig::bert_large(512), vec![1usize, 64, 256, 512]),
+        (
+            "BERT-Large",
+            ModelConfig::bert_large(512),
+            vec![1usize, 64, 256, 512],
+        ),
         ("GPT-2", ModelConfig::gpt2(1024), vec![1, 64, 256]),
         ("Bloom-3B", ModelConfig::bloom_3b(2048), vec![1, 64, 128]),
         ("Llama-13B", ModelConfig::llama_13b(4096), vec![1, 8]),
@@ -107,7 +121,13 @@ pub fn fig03_mat() -> Table {
 pub fn fig04_oi() -> Table {
     let mut t = Table::new(
         "Fig.4  Operational intensity (normalised to FFN) and OI vs parallelism",
-        &["model", "parallelism", "OI QKV/FFN", "OI MHA/FFN", "MHA OI (flops/byte)"],
+        &[
+            "model",
+            "parallelism",
+            "OI QKV/FFN",
+            "OI MHA/FFN",
+            "MHA OI (flops/byte)",
+        ],
     );
     for model in [
         ModelConfig::vit_base(3192),
@@ -137,7 +157,13 @@ pub fn fig04_oi() -> Table {
 pub fn fig05_fa2_overhead() -> Table {
     let mut t = Table::new(
         "Fig.5  FA-2 overhead vs vanilla attention",
-        &["seq_len", "tile Bc", "extra exp (analytic)", "extra cmp (analytic)", "measured exp ratio"],
+        &[
+            "seq_len",
+            "tile Bc",
+            "extra exp (analytic)",
+            "extra cmp (analytic)",
+            "measured exp ratio",
+        ],
     );
     for s in [256usize, 512, 1024, 2048] {
         for bc in [4usize, 16, 64] {
@@ -154,7 +180,13 @@ pub fn fig05_fa2_overhead() -> Table {
             );
             let (q, k, v) = (w.q.clone(), w.keys(), w.values());
             let mut fa2 = OpCounts::new();
-            let _ = flash_attention(&q, &k, &v, &FlashConfig::new(bc, FlashVersion::V2), &mut fa2);
+            let _ = flash_attention(
+                &q,
+                &k,
+                &v,
+                &FlashConfig::new(bc, FlashVersion::V2),
+                &mut fa2,
+            );
             let mut vanilla = OpCounts::new();
             let _ = sofa_core::flash::vanilla_attention_counted(&q, &k, &v, &mut vanilla);
             t.push([
@@ -195,7 +227,15 @@ pub fn fig08_distribution() -> Table {
 pub fn fig16_latency_breakdown() -> Table {
     let mut t = Table::new(
         "Fig.16  GPU latency breakdown and attention shares",
-        &["model", "batch", "QKV", "Attention", "FFN", "Atten mem share", "Atten energy share"],
+        &[
+            "model",
+            "batch",
+            "QKV",
+            "Attention",
+            "FFN",
+            "Atten mem share",
+            "Atten energy share",
+        ],
     );
     let gpu = GpuModel::a100();
     let models = [
@@ -254,22 +294,22 @@ pub fn fig17_complexity_ablation() -> Table {
     let run = |cfg: PipelineConfig| -> f64 {
         seeds
             .iter()
-            .map(|&s| SofaPipeline::new(cfg).run(&small_workload(s)).normalized_complexity())
+            .map(|&s| {
+                SofaPipeline::new(cfg)
+                    .run(&small_workload(s))
+                    .normalized_complexity()
+            })
             .sum::<f64>()
             / seeds.len() as f64
     };
     let baseline = run(PipelineConfig::baseline(keep, bc).unwrap());
-    let dlzs = run(
-        PipelineConfig::baseline(keep, bc)
-            .unwrap()
-            .with_prediction(PredictionScheme::Dlzs),
-    );
-    let dlzs_sads = run(
-        PipelineConfig::baseline(keep, bc)
-            .unwrap()
-            .with_prediction(PredictionScheme::Dlzs)
-            .with_sorting(SortingScheme::Sads),
-    );
+    let dlzs = run(PipelineConfig::baseline(keep, bc)
+        .unwrap()
+        .with_prediction(PredictionScheme::Dlzs));
+    let dlzs_sads = run(PipelineConfig::baseline(keep, bc)
+        .unwrap()
+        .with_prediction(PredictionScheme::Dlzs)
+        .with_sorting(SortingScheme::Sads));
     let full = run(PipelineConfig::new(keep, bc).unwrap());
     for (name, value) in [
         ("4bit + vanilla sorting + FA-2", baseline),
@@ -340,9 +380,19 @@ pub fn ablation_sufa_order() -> Table {
     let idx: Vec<usize> = (0..64).collect();
     let (kk, vv) = (k.select_rows(&idx), v.select_rows(&idx));
     let mut fa2 = OpCounts::new();
-    let _ = flash_attention(&w.q, &kk, &vv, &FlashConfig::new(16, FlashVersion::V2), &mut fa2);
+    let _ = flash_attention(
+        &w.q,
+        &kk,
+        &vv,
+        &FlashConfig::new(16, FlashVersion::V2),
+        &mut fa2,
+    );
 
-    for (name, ops) in [("SU-FA descending", desc), ("SU-FA ascending", asc), ("FA-2 over top-k", fa2)] {
+    for (name, ops) in [
+        ("SU-FA descending", desc),
+        ("SU-FA ascending", asc),
+        ("FA-2 over top-k", fa2),
+    ] {
         t.push([
             name.to_string(),
             ops.exp.to_string(),
@@ -357,9 +407,21 @@ pub fn ablation_sufa_order() -> Table {
 pub fn ablation_rass() -> Table {
     let mut t = Table::new(
         "Ablation  RASS vs naive KV scheduling",
-        &["seq_len", "queries", "keep", "buffer", "naive fetches", "RASS fetches", "reduction"],
+        &[
+            "seq_len",
+            "queries",
+            "keep",
+            "buffer",
+            "naive fetches",
+            "RASS fetches",
+            "reduction",
+        ],
     );
-    for (s, q, keep) in [(256usize, 32usize, 0.25f64), (512, 64, 0.25), (1024, 128, 0.2)] {
+    for (s, q, keep) in [
+        (256usize, 32usize, 0.25f64),
+        (512, 64, 0.25),
+        (1024, 128, 0.2),
+    ] {
         let w = ScoreWorkload::generate(&ScoreDistribution::llama_like(), q, s, 7);
         let k = (s as f64 * keep) as usize;
         let (mask, _) = sads_topk(&w.scores, k, &SadsConfig::paper_default());
@@ -384,7 +446,14 @@ pub fn ablation_rass() -> Table {
 pub fn ablation_dse() -> Table {
     let mut t = Table::new(
         "Ablation  DSE (Bayesian optimisation vs random search)",
-        &["model", "evaluations", "BO objective", "random objective", "BO keep", "BO mean Bc"],
+        &[
+            "model",
+            "evaluations",
+            "BO objective",
+            "random objective",
+            "BO keep",
+            "BO mean Bc",
+        ],
     );
     for (name, layers, seq_len) in [("BERT-Base", 4usize, 512usize), ("GPT-2", 6, 1024)] {
         let space = dse::DseSpace::paper_space(layers, seq_len);
@@ -425,7 +494,15 @@ pub fn ablation_dse() -> Table {
 pub fn fig19_throughput() -> Table {
     let mut t = Table::new(
         "Fig.19  Throughput gain over dense A100 execution",
-        &["benchmark", "GPU LP (2% loss)", "GPU LP+FA1", "GPU LP+FA2", "SOFA (0%)", "SOFA (1%)", "SOFA (2%)"],
+        &[
+            "benchmark",
+            "GPU LP (2% loss)",
+            "GPU LP+FA1",
+            "GPU LP+FA2",
+            "SOFA (0%)",
+            "SOFA (1%)",
+            "SOFA (2%)",
+        ],
     );
     let gpu = GpuModel::a100();
     let full = gpu.speedup(&SoftwareStack::full());
@@ -485,8 +562,14 @@ pub fn fig20_memory_energy() -> Table {
     rass_only.tiled_pipeline = false;
     let with_rass = rass_only.simulate(&task).dram_bytes as f64;
     let full = SofaAccelerator::new(cfg).simulate(&task).dram_bytes as f64;
-    t.push(["Vanilla dynamic sparsity (LP) memory access", pct(1.0).as_str()]);
-    t.push(["SOFA (LP+RASS) memory access", pct(with_rass / lp_only).as_str()]);
+    t.push([
+        "Vanilla dynamic sparsity (LP) memory access",
+        pct(1.0).as_str(),
+    ]);
+    t.push([
+        "SOFA (LP+RASS) memory access",
+        pct(with_rass / lp_only).as_str(),
+    ]);
     t.push([
         "SOFA (LP+RASS+SU-FA+tiled dataflow) memory access",
         pct(full / lp_only).as_str(),
@@ -503,7 +586,11 @@ pub fn fig20_memory_energy() -> Table {
         .find(|a| a.name == "SOFA")
         .expect("SOFA record exists");
     let gpu_measured_eff = sofa.device_energy_efficiency() / 71.5;
-    for (budget, scale) in [("0% loss", 49.8 / 71.5), ("1% loss", 57.6 / 71.5), ("2% loss", 1.0)] {
+    for (budget, scale) in [
+        ("0% loss", 49.8 / 71.5),
+        ("1% loss", 57.6 / 71.5),
+        ("2% loss", 1.0),
+    ] {
         let gain = sofa.device_energy_efficiency() * scale / gpu_measured_eff;
         t.push([format!("Efficiency gain over A100 ({budget})"), times(gain)]);
     }
@@ -529,14 +616,25 @@ pub fn fig21_gain_breakdown() -> Table {
 pub fn table1_summary() -> Table {
     let mut t = Table::new(
         "Table I  Optimisation coverage of SOTA Transformer accelerators",
-        &["accelerator", "sparsity", "attention compute", "attention memory", "cross-stage"],
+        &[
+            "accelerator",
+            "sparsity",
+            "attention compute",
+            "attention memory",
+            "cross-stage",
+        ],
     );
     for a in sota_accelerators() {
         t.push([
             a.name.to_string(),
             format!("{:?}", a.sparsity),
             "yes".to_string(),
-            if a.optimizes_memory { "partial/yes" } else { "no" }.to_string(),
+            if a.optimizes_memory {
+                "partial/yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             if a.cross_stage { "yes" } else { "no" }.to_string(),
         ]);
     }
@@ -615,6 +713,118 @@ pub fn table4_power() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Cycle-level simulation (sofa-sim)
+// ---------------------------------------------------------------------------
+
+/// The task grid the cycle-vs-analytic experiment sweeps: a compute-bound
+/// block (moderate parallelism, high keep ratios) and a memory-bound block
+/// (high token parallelism, aggressive pruning → KV streaming dominates).
+fn cycle_sim_tasks() -> Vec<AttentionTask> {
+    let mut tasks = Vec::new();
+    for (t, s, keep, bc) in [
+        // Compute-bound: the analytic and cycle-level models must agree.
+        (1usize, 1024usize, 0.25f64, 16usize),
+        (8, 1024, 0.5, 16),
+        (16, 2048, 0.5, 32),
+        (32, 2048, 0.5, 16),
+        // Memory-bound: high token parallelism, the regime of paper Fig. 3.
+        (64, 2048, 0.1, 16),
+        (128, 2048, 0.25, 16),
+        (128, 4096, 0.1, 16),
+        (128, 4096, 0.25, 32),
+    ] {
+        tasks.push(AttentionTask::new(t, s, 1024, 8, keep, bc));
+    }
+    tasks
+}
+
+/// Experiment — event-driven cycle-level simulation vs the analytic model:
+/// end-to-end cycles, agreement, and where the time went.
+pub fn sim_cycle_vs_analytic() -> Table {
+    let mut t = Table::new(
+        "Sim  Cycle-level simulation vs analytic model",
+        &[
+            "T",
+            "S",
+            "keep",
+            "Bc",
+            "bound",
+            "analytic kcyc",
+            "cycle kcyc",
+            "rel err",
+            "DRAM stall",
+            "bottleneck",
+        ],
+    );
+    let sim = CycleSim::new(HwConfig::paper_default());
+    for task in cycle_sim_tasks() {
+        let (report, cmp) = sim.validate(&task);
+        t.push([
+            task.queries.to_string(),
+            task.seq_len.to_string(),
+            pct(task.keep_ratio),
+            task.tile_size.to_string(),
+            if cmp.analytic_memory_bound {
+                "memory"
+            } else {
+                "compute"
+            }
+            .to_string(),
+            format!("{:.1}", cmp.analytic_cycles / 1e3),
+            format!("{:.1}", cmp.simulated_cycles / 1e3),
+            format!("{:+.1}%", 100.0 * cmp.relative_error),
+            pct(cmp.dram_stall_fraction),
+            sofa_sim::report::STAGE_NAMES[report.bottleneck_stage()].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Experiment — per-stage busy/stall breakdown of one compute-bound and one
+/// memory-bound configuration (the dynamic detail `max(compute, memory)`
+/// cannot express).
+pub fn sim_stall_breakdown() -> Table {
+    let mut t = Table::new(
+        "Sim  Per-stage busy/stall breakdown (cycle-level)",
+        &[
+            "config",
+            "stage",
+            "busy kcyc",
+            "input stall",
+            "output stall",
+            "dram stall",
+            "util",
+        ],
+    );
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let cases = [
+        (
+            "compute-bound T=8",
+            AttentionTask::new(8, 1024, 1024, 8, 0.5, 16),
+        ),
+        (
+            "memory-bound T=128",
+            AttentionTask::new(128, 4096, 1024, 8, 0.1, 16),
+        ),
+    ];
+    for (name, task) in cases {
+        let report = sim.run(&task);
+        for (i, s) in report.stages.iter().enumerate() {
+            t.push([
+                name.to_string(),
+                sofa_sim::report::STAGE_NAMES[i].to_string(),
+                format!("{:.1}", s.busy as f64 / 1e3),
+                format!("{:.1}", s.stall_input as f64 / 1e3),
+                format!("{:.1}", s.stall_output as f64 / 1e3),
+                format!("{:.1}", s.stall_dram as f64 / 1e3),
+                pct(s.utilization(report.total_cycles)),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,7 +867,45 @@ mod tests {
             .find(|r| r[0].contains("tiled dataflow"))
             .unwrap();
         let v: f64 = full_row[1].trim_end_matches('%').parse().unwrap();
-        assert!(v < 60.0, "full SOFA should cut memory access below 60%: {v}");
+        assert!(
+            v < 60.0,
+            "full SOFA should cut memory access below 60%: {v}"
+        );
+    }
+
+    #[test]
+    fn cycle_sim_agrees_when_compute_bound_and_stalls_when_memory_bound() {
+        let sim = CycleSim::new(HwConfig::paper_default());
+        for task in cycle_sim_tasks() {
+            let (_, cmp) = sim.validate(&task);
+            if cmp.analytic_memory_bound {
+                assert!(
+                    cmp.dram_stall_fraction > 0.0,
+                    "memory-bound T={} S={} must report DRAM stalls",
+                    task.queries,
+                    task.seq_len
+                );
+            } else {
+                assert!(
+                    cmp.agrees_within(0.15),
+                    "compute-bound T={} S={} diverged: {:+.1}%",
+                    task.queries,
+                    task.seq_len,
+                    100.0 * cmp.relative_error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_tables_have_expected_shape() {
+        let t = sim_cycle_vs_analytic();
+        assert_eq!(t.rows.len(), cycle_sim_tasks().len());
+        assert!(t.rows.iter().any(|r| r[4] == "memory"));
+        assert!(t.rows.iter().any(|r| r[4] == "compute"));
+        let b = sim_stall_breakdown();
+        assert_eq!(b.rows.len(), 8, "two configs x four stages");
+        assert!(!b.render().is_empty());
     }
 
     #[test]

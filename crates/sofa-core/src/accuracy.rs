@@ -43,8 +43,7 @@ pub fn evaluate_keep_ratio(
     keep_ratio: f64,
     tile_size: usize,
 ) -> AccuracyPoint {
-    let cfg = PipelineConfig::new(keep_ratio, tile_size)
-        .expect("keep_ratio validated by caller");
+    let cfg = PipelineConfig::new(keep_ratio, tile_size).expect("keep_ratio validated by caller");
     let result = SofaPipeline::new(cfg).run(workload);
     AccuracyPoint {
         keep_ratio,
@@ -122,7 +121,11 @@ mod tests {
         let w = workload();
         let dense = w.dense_output();
         let p = evaluate_keep_ratio(&w, &dense, 1.0, 16);
-        assert!(p.loss < 1e-3, "keeping everything should match dense: {}", p.loss);
+        assert!(
+            p.loss < 1e-3,
+            "keeping everything should match dense: {}",
+            p.loss
+        );
     }
 
     #[test]

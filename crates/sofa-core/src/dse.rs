@@ -42,7 +42,10 @@ impl DseSpace {
     ///
     /// Panics if `layers == 0` or `seq_len == 0`.
     pub fn paper_space(layers: usize, seq_len: usize) -> Self {
-        assert!(layers > 0 && seq_len > 0, "layers and seq_len must be positive");
+        assert!(
+            layers > 0 && seq_len > 0,
+            "layers and seq_len must be positive"
+        );
         DseSpace {
             tile_options: (1..=16).map(|i| i * 2).collect(),
             keep_options: (1..=10).map(|i| i as f64 * 0.05).collect(),
@@ -268,8 +271,8 @@ fn cholesky(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+            for (lik, ljk) in l[i][..j].iter().zip(&l[j][..j]) {
+                sum -= lik * ljk;
             }
             if i == j {
                 l[i][j] = sum.max(1e-12).sqrt();
@@ -381,7 +384,7 @@ where
             let c = space.sample(&mut rng);
             let (mean, std) = gp.predict(&space.encode(&c));
             let ei = expected_improvement(mean, std, incumbent);
-            if best_cand.as_ref().map_or(true, |(b, _)| ei > *b) {
+            if best_cand.as_ref().is_none_or(|(b, _)| ei > *b) {
                 best_cand = Some((ei, c));
             }
         }
@@ -415,7 +418,7 @@ where
     for _ in 0..cfg.max_iters {
         let c = space.sample(&mut rng);
         let y = objective(loss_fn(&c), &c, space.seq_len, cfg.alpha, cfg.beta);
-        if best.as_ref().map_or(true, |(b, _)| y < *b) {
+        if best.as_ref().is_none_or(|(b, _)| y < *b) {
             best = Some((y, c));
         }
         history.push(best.as_ref().expect("just set").0);
@@ -487,7 +490,10 @@ mod tests {
         let gp = GaussianProcess::fit(xs, &ys, 0.3, 1e-6);
         let (m, s) = gp.predict(&[0.5]);
         assert!((m - 0.0).abs() < 0.05, "mean at observed point: {m}");
-        assert!(s < 0.1, "uncertainty at observed point should be small: {s}");
+        assert!(
+            s < 0.1,
+            "uncertainty at observed point should be small: {s}"
+        );
         let (_, s_far) = gp.predict(&[2.5]);
         assert!(s_far > s, "uncertainty should grow away from data");
     }

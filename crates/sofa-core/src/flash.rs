@@ -44,12 +44,7 @@ impl FlashConfig {
 
 /// Un-tiled ("vanilla") exact attention with operation accounting: the whole
 /// score row is materialised, soft-maxed once and multiplied with V.
-pub fn vanilla_attention_counted(
-    q: &Matrix,
-    k: &Matrix,
-    v: &Matrix,
-    ops: &mut OpCounts,
-) -> Matrix {
+pub fn vanilla_attention_counted(q: &Matrix, k: &Matrix, v: &Matrix, ops: &mut OpCounts) -> Matrix {
     assert_eq!(q.cols(), k.cols(), "Q and K head dims must match");
     assert_eq!(k.rows(), v.rows(), "K and V lengths must match");
     let d = q.cols();
@@ -239,14 +234,7 @@ mod tests {
     use sofa_tensor::stats::max_abs_diff;
 
     fn workload(queries: usize, s: usize) -> (Matrix, Matrix, Matrix) {
-        let w = AttentionWorkload::generate(
-            &ScoreDistribution::bert_like(),
-            queries,
-            s,
-            32,
-            16,
-            5,
-        );
+        let w = AttentionWorkload::generate(&ScoreDistribution::bert_like(), queries, s, 32, 16, 5);
         (w.q.clone(), w.keys(), w.values())
     }
 
@@ -291,7 +279,13 @@ mod tests {
         let mut vanilla = OpCounts::new();
         let _ = vanilla_attention_counted(&q, &k, &v, &mut vanilla);
         let mut fa2 = OpCounts::new();
-        let _ = flash_attention(&q, &k, &v, &FlashConfig::new(16, FlashVersion::V2), &mut fa2);
+        let _ = flash_attention(
+            &q,
+            &k,
+            &v,
+            &FlashConfig::new(16, FlashVersion::V2),
+            &mut fa2,
+        );
         assert!(fa2.exp > vanilla.exp);
         assert!(fa2.cmp > vanilla.cmp);
     }
@@ -301,9 +295,21 @@ mod tests {
         // Fig. 5(c): the overhead scales with the number of tiles Tc.
         let (q, k, v) = workload(4, 256);
         let mut small = OpCounts::new();
-        let _ = flash_attention(&q, &k, &v, &FlashConfig::new(4, FlashVersion::V2), &mut small);
+        let _ = flash_attention(
+            &q,
+            &k,
+            &v,
+            &FlashConfig::new(4, FlashVersion::V2),
+            &mut small,
+        );
         let mut large = OpCounts::new();
-        let _ = flash_attention(&q, &k, &v, &FlashConfig::new(64, FlashVersion::V2), &mut large);
+        let _ = flash_attention(
+            &q,
+            &k,
+            &v,
+            &FlashConfig::new(64, FlashVersion::V2),
+            &mut large,
+        );
         assert!(small.exp > large.exp);
         assert!(small.normalized_complexity() > large.normalized_complexity());
     }

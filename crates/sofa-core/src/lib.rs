@@ -43,12 +43,14 @@ pub mod ops;
 pub mod pipeline;
 pub mod sads;
 pub mod sufa;
+pub mod tiling;
 pub mod topk;
 
 pub use dlzs::DlzsPredictor;
 pub use ops::{OpCounts, OpKind};
 pub use sads::SadsConfig;
 pub use sufa::{sorted_updating_attention, SuFaOrder};
+pub use tiling::TileSelectionStats;
 pub use topk::TopKMask;
 
 /// Errors produced by the SOFA algorithm layer.

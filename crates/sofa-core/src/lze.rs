@@ -260,8 +260,9 @@ mod tests {
         let xs: Vec<i32> = (-127..=127).step_by(3).collect();
         let ys: Vec<i32> = (-127..=127).step_by(7).collect();
         let dlzs_err = mean_relative_error(&xs, &ys, |a, b| approx_mul_dlzs(a, encode(b, 8)));
-        let vanilla_err =
-            mean_relative_error(&xs, &ys, |a, b| approx_mul_vanilla(encode(a, 8), encode(b, 8)));
+        let vanilla_err = mean_relative_error(&xs, &ys, |a, b| {
+            approx_mul_vanilla(encode(a, 8), encode(b, 8))
+        });
         assert!(
             dlzs_err < vanilla_err,
             "DLZS error {dlzs_err} must beat vanilla {vanilla_err}"

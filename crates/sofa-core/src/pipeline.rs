@@ -165,6 +165,17 @@ impl PipelineResult {
         self.prediction.ops + self.sorting_ops + self.kv_generation_ops + self.formal_ops
     }
 
+    /// Per-tile selection statistics of the mask this run produced — the
+    /// real-workload load profile a cycle-level simulator consumes instead of
+    /// expected values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size` is zero.
+    pub fn tile_selection_stats(&self, tile_size: usize) -> crate::tiling::TileSelectionStats {
+        crate::tiling::TileSelectionStats::from_mask(&self.mask, tile_size)
+    }
+
     /// Total normalised complexity across all stages.
     pub fn normalized_complexity(&self) -> f64 {
         self.total_ops().normalized_complexity()
@@ -359,7 +370,10 @@ mod tests {
         let result = SofaPipeline::new(cfg).run(&w);
         assert!((result.mask.keep_ratio() - 0.25).abs() < 0.02);
         assert!(result.keys_generated <= w.seq_len());
-        assert!(result.keys_generated >= 32, "several keys must be generated");
+        assert!(
+            result.keys_generated >= 32,
+            "several keys must be generated"
+        );
     }
 
     #[test]
@@ -393,33 +407,46 @@ mod tests {
     #[test]
     fn ablation_is_monotonic() {
         // Each SOFA component should reduce (or at least not increase) the
-        // total complexity: baseline → +DLZS → +SADS → +SU-FA.
-        let w = workload();
+        // total complexity: baseline → +DLZS → +SADS → +SU-FA. Averaged over
+        // seeds because the SADS adjustive-exchange cost is data-dependent
+        // (single workloads can sit within a percent of the full sort).
         let keep = 0.25;
         let bc = 16;
-        let baseline = SofaPipeline::new(PipelineConfig::baseline(keep, bc).unwrap()).run(&w);
-        let dlzs = SofaPipeline::new(
-            PipelineConfig::baseline(keep, bc)
-                .unwrap()
-                .with_prediction(PredictionScheme::Dlzs),
-        )
-        .run(&w);
-        let dlzs_sads = SofaPipeline::new(
-            PipelineConfig::baseline(keep, bc)
-                .unwrap()
-                .with_prediction(PredictionScheme::Dlzs)
-                .with_sorting(SortingScheme::Sads),
-        )
-        .run(&w);
-        let full = SofaPipeline::new(PipelineConfig::new(keep, bc).unwrap()).run(&w);
-
-        let c0 = baseline.normalized_complexity();
-        let c1 = dlzs.normalized_complexity();
-        let c2 = dlzs_sads.normalized_complexity();
-        let c3 = full.normalized_complexity();
+        let run = |cfg: PipelineConfig| -> f64 {
+            [321u64, 322, 323]
+                .iter()
+                .map(|&seed| {
+                    let w = AttentionWorkload::generate(
+                        &ScoreDistribution::bert_like(),
+                        8,
+                        128,
+                        48,
+                        32,
+                        seed,
+                    );
+                    SofaPipeline::new(cfg).run(&w).normalized_complexity()
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        let c0 = run(PipelineConfig::baseline(keep, bc).unwrap());
+        let c1 = run(PipelineConfig::baseline(keep, bc)
+            .unwrap()
+            .with_prediction(PredictionScheme::Dlzs));
+        let c2 = run(PipelineConfig::baseline(keep, bc)
+            .unwrap()
+            .with_prediction(PredictionScheme::Dlzs)
+            .with_sorting(SortingScheme::Sads));
+        let c3 = run(PipelineConfig::new(keep, bc).unwrap());
         assert!(c1 < c0, "DLZS should reduce complexity ({c1} vs {c0})");
-        assert!(c2 <= c1, "SADS should not increase complexity ({c2} vs {c1})");
-        assert!(c3 <= c2, "SU-FA should not increase complexity ({c3} vs {c2})");
+        assert!(
+            c2 <= c1,
+            "SADS should not increase complexity ({c2} vs {c1})"
+        );
+        assert!(
+            c3 <= c2,
+            "SU-FA should not increase complexity ({c3} vs {c2})"
+        );
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl SadsConfig {
 
     /// Derives the per-layer configuration from a tile size `bc`
     /// (`segments = ceil(S / Bc)`).
-    pub fn from_tile_size(seq_len: usize, bc: usize, radius_frac: f64, refine_iters: usize) -> Self {
+    pub fn from_tile_size(
+        seq_len: usize,
+        bc: usize,
+        radius_frac: f64,
+        refine_iters: usize,
+    ) -> Self {
         let segments = seq_len.div_ceil(bc.max(1)).max(1);
         SadsConfig {
             segments,
@@ -203,7 +208,9 @@ pub fn sads_topk_row(row: &[f32], k: usize, cfg: &SadsConfig, ops: &mut OpCounts
     let cmp_counter = std::cell::Cell::new(0u64);
     selected.sort_by(|&a, &b| {
         cmp_counter.set(cmp_counter.get() + 1);
-        row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     ops.record(OpKind::Cmp, cmp_counter.get());
     selected.truncate(k);

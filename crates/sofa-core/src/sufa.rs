@@ -190,14 +190,8 @@ mod tests {
     use sofa_tensor::stats::max_abs_diff;
 
     fn workload(queries: usize, s: usize) -> (Matrix, Matrix, Matrix) {
-        let w = AttentionWorkload::generate(
-            &ScoreDistribution::llama_like(),
-            queries,
-            s,
-            32,
-            16,
-            17,
-        );
+        let w =
+            AttentionWorkload::generate(&ScoreDistribution::llama_like(), queries, s, 32, 16, 17);
         (w.q.clone(), w.keys(), w.values())
     }
 
@@ -230,7 +224,13 @@ mod tests {
         let (got, _) =
             sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
         let mut fops = OpCounts::new();
-        let want = flash_attention(&q, &k, &v, &FlashConfig::new(16, FlashVersion::V2), &mut fops);
+        let want = flash_attention(
+            &q,
+            &k,
+            &v,
+            &FlashConfig::new(16, FlashVersion::V2),
+            &mut fops,
+        );
         assert!(max_abs_diff(&got, &want) < 1e-3);
     }
 
@@ -274,14 +274,26 @@ mod tests {
         let _ = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut sufa);
 
         let mut fa2_full = OpCounts::new();
-        let _ = flash_attention(&q, &k, &v, &FlashConfig::new(16, FlashVersion::V2), &mut fa2_full);
+        let _ = flash_attention(
+            &q,
+            &k,
+            &v,
+            &FlashConfig::new(16, FlashVersion::V2),
+            &mut fa2_full,
+        );
         assert!(sufa.normalized_complexity() < fa2_full.normalized_complexity());
 
         // FA-2 on a context truncated to `keep` keys (same MAC count).
         let kk = k.select_rows(&(0..keep).collect::<Vec<_>>());
         let vv = v.select_rows(&(0..keep).collect::<Vec<_>>());
         let mut fa2_small = OpCounts::new();
-        let _ = flash_attention(&q, &kk, &vv, &FlashConfig::new(16, FlashVersion::V2), &mut fa2_small);
+        let _ = flash_attention(
+            &q,
+            &kk,
+            &vv,
+            &FlashConfig::new(16, FlashVersion::V2),
+            &mut fa2_small,
+        );
         assert!(
             sufa.exp <= fa2_small.exp,
             "SU-FA exp count {} should not exceed FA-2-over-k {}",
@@ -309,7 +321,10 @@ mod tests {
         let (got, stats) =
             sorted_updating_attention(&q, &k, &v, &bad_mask, SuFaOrder::Descending, &mut ops);
         assert!(stats.max_corrections > 0);
-        assert!(max_abs_diff(&got, &want) < 1e-3, "max-ensure keeps it exact");
+        assert!(
+            max_abs_diff(&got, &want) < 1e-3,
+            "max-ensure keeps it exact"
+        );
     }
 
     #[test]
@@ -317,7 +332,8 @@ mod tests {
         let (q, k, v) = workload(2, 16);
         let mask = TopKMask::new(16, vec![vec![], vec![3, 1]]);
         let mut ops = OpCounts::new();
-        let (out, _) = sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
+        let (out, _) =
+            sorted_updating_attention(&q, &k, &v, &mask, SuFaOrder::Descending, &mut ops);
         assert!(out.row(0).iter().all(|&x| x == 0.0));
         assert!(out.row(1).iter().any(|&x| x != 0.0));
     }

@@ -136,7 +136,9 @@ pub fn topk_row_exact(row: &[f32], k: usize, ops: &mut OpCounts) -> Vec<usize> {
     let comparisons = Cell::new(0u64);
     idx.sort_by(|&a, &b| {
         comparisons.set(comparisons.get() + 1);
-        row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     ops.record(OpKind::Cmp, comparisons.get());
     idx.truncate(k);

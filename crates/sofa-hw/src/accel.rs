@@ -56,7 +56,10 @@ impl AttentionTask {
         tile_size: usize,
     ) -> Self {
         assert!(queries > 0 && seq_len > 0 && hidden > 0 && heads > 0 && tile_size > 0);
-        assert!(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep_ratio out of range");
+        assert!(
+            keep_ratio > 0.0 && keep_ratio <= 1.0,
+            "keep_ratio out of range"
+        );
         let union = 1.0 - (1.0 - keep_ratio).powi(queries.min(32) as i32);
         AttentionTask {
             queries,
@@ -76,7 +79,14 @@ impl AttentionTask {
         keep_ratio: f64,
         tile_size: usize,
     ) -> Self {
-        Self::new(queries, cfg.seq_len, cfg.hidden, cfg.heads, keep_ratio, tile_size)
+        Self::new(
+            queries,
+            cfg.seq_len,
+            cfg.hidden,
+            cfg.heads,
+            keep_ratio,
+            tile_size,
+        )
     }
 
     /// Selected keys per query row.
@@ -116,6 +126,26 @@ pub struct StageCycles {
 }
 
 impl StageCycles {
+    /// Stage cycles for the given per-engine work amounts: query-parallel
+    /// stages (prediction, sorting, formal) only keep `util` of the PE lines
+    /// busy. The single source of the cycle formulas shared by the analytic
+    /// model and the cycle-level simulator (`sofa-sim`).
+    pub fn from_work(
+        cfg: &HwConfig,
+        dlzs: &DlzsWork,
+        sort: &SortWork,
+        kvgen: &KvGenWork,
+        sufa: &SuFaWork,
+        util: f64,
+    ) -> Self {
+        StageCycles {
+            prediction: dlzs_cycles(cfg, dlzs) / util,
+            sorting: sads_cycles(cfg, sort) / util,
+            kv_generation: kvgen_cycles(cfg, kvgen),
+            formal: sufa_cycles(cfg, sufa) / util,
+        }
+    }
+
     /// Sum of all stages (serial execution).
     pub fn sum(&self) -> f64 {
         self.prediction + self.sorting + self.kv_generation + self.formal
@@ -232,7 +262,12 @@ impl SofaAccelerator {
         let dlzs = DlzsWork {
             // Â prediction (T·S·H) is always needed; K̂ prediction (S·H·H)
             // only when K/V are generated on demand rather than pre-existing.
-            shift_ops: t * s * h + if self.include_kv_generation { s * h * h } else { 0 },
+            shift_ops: t * s * h
+                + if self.include_kv_generation {
+                    s * h * h
+                } else {
+                    0
+                },
             lz_encodes: t * h,
         };
         let sort = SortWork { elements: t * s };
@@ -257,13 +292,7 @@ impl SofaAccelerator {
             divs: t * h,
         };
 
-        // Query-parallel stages only keep `util` of the PE lines busy.
-        let cycles = StageCycles {
-            prediction: dlzs_cycles(cfg, &dlzs) / util,
-            sorting: sads_cycles(cfg, &sort) / util,
-            kv_generation: kvgen_cycles(cfg, &kvgen),
-            formal: sufa_cycles(cfg, &sufa) / util,
-        };
+        let cycles = StageCycles::from_work(cfg, &dlzs, &sort, &kvgen, &sufa, util);
 
         // ---- Pipelining ---------------------------------------------------
         let tiles = (task.seq_len.div_ceil(task.tile_size)).max(1) as f64;
@@ -379,14 +408,12 @@ impl WholeRowAccelerator {
         // keys: the shift-array lanes act as narrow multipliers at half the
         // lane count.
         let pred_macs = t * s * h;
-        let prediction =
-            pred_macs as f64 / (cfg.dlzs_ops_per_cycle() / 2.0) / util + 64.0;
+        let prediction = pred_macs as f64 / (cfg.dlzs_ops_per_cycle() / 2.0) / util + 64.0;
 
         // Whole-row sorting: S·log2(S) comparisons per row, one sorting core
         // active per query row.
         let cmp_per_row = (s as f64) * (s as f64).log2().max(1.0);
-        let sorting =
-            t as f64 * cmp_per_row / cfg.sort_elems_per_cycle_total() / util + 64.0;
+        let sorting = t as f64 * cmp_per_row / cfg.sort_elems_per_cycle_total() / util + 64.0;
 
         // Formal compute: FA-2 over the selected keys (no sorted-update
         // shortcut — the running maximum is refreshed per tile).
@@ -433,7 +460,7 @@ impl WholeRowAccelerator {
         let token_sram = SramModel::new(cfg.token_sram_bytes, cfg.sram_pj_per_bit);
         let per_query_ws = k * (h / a) * 2 * 2; // selected K+V of one query, one head resident at a time
         let queries_per_pass = (token_sram.capacity_bytes as u64 / per_query_ws.max(1)).max(1);
-        let passes = (t + queries_per_pass - 1) / queries_per_pass;
+        let passes = t.div_ceil(queries_per_pass);
         if passes > 1 {
             dram.read((passes - 1) * 2 * s * h * 2);
         }

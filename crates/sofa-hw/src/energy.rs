@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn core_power_matches_table_iii() {
         let p = total_core_power_w();
-        assert!((p - 0.95).abs() < 0.01, "core power should be ~0.95 W, got {p}");
+        assert!(
+            (p - 0.95).abs() < 0.01,
+            "core power should be ~0.95 W, got {p}"
+        );
     }
 
     #[test]
@@ -196,7 +199,11 @@ mod tests {
         // At 59.8 GB/s the paper reports interface 0.53 W and DRAM 1.92 W.
         let p = PowerBreakdown::at_bandwidth(1.0, 59.8e9, 1.1, 4.0);
         assert!((p.core_w - 0.95).abs() < 0.02);
-        assert!((p.interface_w - 0.53).abs() < 0.06, "interface {}", p.interface_w);
+        assert!(
+            (p.interface_w - 0.53).abs() < 0.06,
+            "interface {}",
+            p.interface_w
+        );
         assert!((p.dram_w - 1.92).abs() < 0.15, "dram {}", p.dram_w);
         assert!((p.total_w() - 3.40).abs() < 0.2, "total {}", p.total_w());
     }

@@ -43,6 +43,8 @@ pub struct SuFaWork {
 }
 
 /// Fixed pipeline-fill latency charged once per engine invocation (cycles).
+/// The cycle-level simulator (`sofa-sim`) inherits it implicitly by deriving
+/// its per-tile budgets from these `*_cycles` functions on aggregated work.
 const FILL_LATENCY: f64 = 64.0;
 
 /// Cycles the DLZS engine needs for the given work.
@@ -78,8 +80,20 @@ mod tests {
     #[test]
     fn cycles_scale_linearly_with_work() {
         let cfg = HwConfig::paper_default();
-        let a = dlzs_cycles(&cfg, &DlzsWork { shift_ops: 1 << 20, lz_encodes: 0 });
-        let b = dlzs_cycles(&cfg, &DlzsWork { shift_ops: 1 << 21, lz_encodes: 0 });
+        let a = dlzs_cycles(
+            &cfg,
+            &DlzsWork {
+                shift_ops: 1 << 20,
+                lz_encodes: 0,
+            },
+        );
+        let b = dlzs_cycles(
+            &cfg,
+            &DlzsWork {
+                shift_ops: 1 << 21,
+                lz_encodes: 0,
+            },
+        );
         assert!((b - FILL_LATENCY) / (a - FILL_LATENCY) > 1.99);
     }
 

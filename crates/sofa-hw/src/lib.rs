@@ -34,6 +34,7 @@
 pub mod accel;
 pub mod area;
 pub mod config;
+pub mod descriptor;
 pub mod energy;
 pub mod engines;
 pub mod mem;
@@ -41,3 +42,4 @@ pub mod rass;
 
 pub use accel::{AttentionTask, SimReport, SofaAccelerator, WholeRowAccelerator};
 pub use config::HwConfig;
+pub use descriptor::TileWork;

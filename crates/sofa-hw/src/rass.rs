@@ -194,7 +194,10 @@ mod tests {
         let s = rass_schedule(&mask, 4);
         // K2 and K3 are needed by three queries — they must be in phase 0.
         let first = &s.phases[0].kv_indices;
-        assert!(first.contains(&2) && first.contains(&3), "phase 0 = {first:?}");
+        assert!(
+            first.contains(&2) && first.contains(&3),
+            "phase 0 = {first:?}"
+        );
     }
 
     #[test]
@@ -211,7 +214,10 @@ mod tests {
         let w = ScoreWorkload::generate(&ScoreDistribution::llama_like(), 64, 512, 41);
         let (mask, _) = sads_topk(&w.scores, 128, &SadsConfig::paper_default());
         let red = rass_fetch_reduction(&mask, 64);
-        assert!(red > 0.15, "reduction {red} too small for overlapping top-k");
+        assert!(
+            red > 0.15,
+            "reduction {red} too small for overlapping top-k"
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl ModelConfig {
     ) -> Self {
         assert!(layers > 0 && hidden > 0 && heads > 0 && ffn_dim > 0 && seq_len > 0);
         assert!(
-            hidden % heads == 0,
+            hidden.is_multiple_of(heads),
             "hidden ({hidden}) must be divisible by heads ({heads})"
         );
         ModelConfig {
@@ -115,22 +115,54 @@ impl ModelConfig {
 
     /// Bloom-1.7B: 24 layers, 2048 hidden, 16 heads.
     pub fn bloom_1b7(seq_len: usize) -> Self {
-        Self::new("Bloom-1.7B", ModelFamily::Decoder, 24, 2048, 16, 8192, seq_len)
+        Self::new(
+            "Bloom-1.7B",
+            ModelFamily::Decoder,
+            24,
+            2048,
+            16,
+            8192,
+            seq_len,
+        )
     }
 
     /// Bloom-3B: 30 layers, 2560 hidden, 32 heads.
     pub fn bloom_3b(seq_len: usize) -> Self {
-        Self::new("Bloom-3B", ModelFamily::Decoder, 30, 2560, 32, 10240, seq_len)
+        Self::new(
+            "Bloom-3B",
+            ModelFamily::Decoder,
+            30,
+            2560,
+            32,
+            10240,
+            seq_len,
+        )
     }
 
     /// Llama-7B: 32 layers, 4096 hidden, 32 heads, 11008 FFN.
     pub fn llama_7b(seq_len: usize) -> Self {
-        Self::new("Llama-7B", ModelFamily::Decoder, 32, 4096, 32, 11008, seq_len)
+        Self::new(
+            "Llama-7B",
+            ModelFamily::Decoder,
+            32,
+            4096,
+            32,
+            11008,
+            seq_len,
+        )
     }
 
     /// Llama-13B: 40 layers, 5120 hidden, 40 heads, 13824 FFN.
     pub fn llama_13b(seq_len: usize) -> Self {
-        Self::new("Llama-13B", ModelFamily::Decoder, 40, 5120, 40, 13824, seq_len)
+        Self::new(
+            "Llama-13B",
+            ModelFamily::Decoder,
+            40,
+            5120,
+            40,
+            13824,
+            seq_len,
+        )
     }
 
     /// ViT-Base: 12 layers, 768 hidden, 12 heads, 196(+1) patch tokens by

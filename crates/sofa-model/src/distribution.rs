@@ -313,7 +313,10 @@ mod tests {
                 type3_or_type1 += 1;
             }
         }
-        assert!(type3_or_type1 >= 35, "Type-III leakage: {type3_or_type1}/50");
+        assert!(
+            type3_or_type1 >= 35,
+            "Type-III leakage: {type3_or_type1}/50"
+        );
     }
 
     #[test]

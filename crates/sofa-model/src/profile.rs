@@ -255,8 +255,14 @@ mod tests {
         let (_, att_short, _) = short.fractions();
         let (_, att_long, _) = long.fractions();
         assert!(att_long > att_short);
-        assert!(att_long > 0.5, "attention should dominate at 128k: {att_long}");
-        assert!(att_short < 0.5, "attention should not dominate at 4k: {att_short}");
+        assert!(
+            att_long > 0.5,
+            "attention should dominate at 128k: {att_long}"
+        );
+        assert!(
+            att_short < 0.5,
+            "attention should not dominate at 4k: {att_short}"
+        );
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl Benchmark {
 }
 
 /// Builds the full 20-benchmark suite used throughout the evaluation.
+#[allow(clippy::vec_init_then_push)] // 20 annotated entries read better as a push list
 pub fn benchmark_suite() -> Vec<Benchmark> {
     use TaskKind::*;
     let bert_b = |s| ModelConfig::bert_base(s);
@@ -284,7 +285,10 @@ mod tests {
         let suite = benchmark_suite();
         let sq = suite.iter().find(|b| b.name == "BERT-B/SQuAD").unwrap();
         assert_eq!(sq.model.seq_len, 384);
-        let llama = suite.iter().find(|b| b.name == "Llama-7B/WikiText-2").unwrap();
+        let llama = suite
+            .iter()
+            .find(|b| b.name == "Llama-7B/WikiText-2")
+            .unwrap();
         assert_eq!(llama.model.seq_len, 4096);
         let bloom = suite.iter().find(|b| b.name.contains("Bloom")).unwrap();
         assert_eq!(bloom.model.seq_len, 2048);

@@ -31,12 +31,7 @@ impl ScoreWorkload {
     /// # Panics
     ///
     /// Panics if `queries == 0` or `seq_len == 0`.
-    pub fn generate(
-        dist: &ScoreDistribution,
-        queries: usize,
-        seq_len: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(dist: &ScoreDistribution, queries: usize, seq_len: usize, seed: u64) -> Self {
         assert!(queries > 0 && seq_len > 0, "dimensions must be positive");
         let mut rng = seeded_rng(seed);
         let mut scores = Matrix::zeros(queries, seq_len);
@@ -100,9 +95,7 @@ impl AttentionWorkload {
         );
         let mut rng = seeded_rng(seed);
         let scale_x = 1.0 / (input_dim as f32).sqrt();
-        let x = Matrix::from_fn(seq_len, input_dim, |_, _| {
-            rng.gen_range(-1.0..1.0f32)
-        });
+        let x = Matrix::from_fn(seq_len, input_dim, |_, _| rng.gen_range(-1.0..1.0f32));
         let wk = Matrix::from_fn(input_dim, head_dim, |_, _| {
             rng.gen_range(-1.0..1.0f32) * scale_x
         });

@@ -1,0 +1,228 @@
+//! Shared DRAM channel with bandwidth arbitration and per-burst latency.
+//!
+//! All four stages contend for one off-chip channel: the prediction stage
+//! streams low-precision keys, the KV path fetches the RASS-deduplicated
+//! selected vectors, and the formal stage writes outputs back. Requests queue
+//! per requester port; when the channel is free the next request is chosen
+//! round-robin across ports, occupies the channel for `bytes / bytes_per_cycle`
+//! and delivers its data one burst latency later (the latency of later bursts
+//! pipelines behind the first). This is the contention the analytic model's
+//! `max(compute, memory)` folds away — and the reason the cycle simulator can
+//! report *which* stage was starved.
+
+use std::collections::VecDeque;
+
+/// One queued DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Requesting stage (also the arbitration port).
+    pub stage: usize,
+    /// Tile the data belongs to.
+    pub tile: usize,
+    /// Transfer size.
+    pub bytes: u64,
+    /// Whether this is a writeback (completion is not waited on by a stage).
+    pub write: bool,
+}
+
+/// Completion handed back by the channel when a request finishes issuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issued {
+    /// The request now occupying the channel.
+    pub request: DramRequest,
+    /// When the channel becomes free again.
+    pub free_at: u64,
+    /// When the requester has all of the data.
+    pub done_at: u64,
+}
+
+/// The shared channel: per-port queues, round-robin pick, busy bookkeeping.
+#[derive(Debug)]
+pub struct DramChannel {
+    /// Sustained bandwidth in bytes per cycle.
+    bytes_per_cycle: f64,
+    /// Fixed latency from issue to first data beat (cycles).
+    burst_latency: u64,
+    queues: Vec<VecDeque<DramRequest>>,
+    next_port: usize,
+    busy: bool,
+    busy_cycles: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl DramChannel {
+    /// Creates a channel with `ports` requester ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive or `ports` is zero.
+    pub fn new(ports: usize, bytes_per_cycle: f64, burst_latency: u64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        assert!(ports > 0, "need at least one port");
+        DramChannel {
+            bytes_per_cycle,
+            burst_latency,
+            queues: (0..ports).map(|_| VecDeque::new()).collect(),
+            next_port: 0,
+            busy: false,
+            busy_cycles: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Queues a request on its stage's port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's stage has no port.
+    pub fn enqueue(&mut self, req: DramRequest) {
+        assert!(req.stage < self.queues.len(), "no port for stage");
+        self.queues[req.stage].push_back(req);
+    }
+
+    /// If the channel is idle and work is queued, issues the next request
+    /// (round-robin over ports) and returns its timing. The caller is
+    /// responsible for scheduling the returned `free_at` / `done_at` events
+    /// and for calling [`DramChannel::release`] at `free_at`.
+    pub fn try_issue(&mut self, now: u64) -> Option<Issued> {
+        if self.busy {
+            return None;
+        }
+        let ports = self.queues.len();
+        for i in 0..ports {
+            let port = (self.next_port + i) % ports;
+            if let Some(req) = self.queues[port].pop_front() {
+                self.next_port = (port + 1) % ports;
+                let transfer = (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+                self.busy = true;
+                self.busy_cycles += transfer;
+                if req.write {
+                    self.bytes_written += req.bytes;
+                } else {
+                    self.bytes_read += req.bytes;
+                }
+                return Some(Issued {
+                    request: req,
+                    free_at: now + transfer,
+                    done_at: now + transfer + self.burst_latency,
+                });
+            }
+        }
+        None
+    }
+
+    /// Marks the channel free again (call at the issued request's `free_at`).
+    pub fn release(&mut self) {
+        self.busy = false;
+    }
+
+    /// Whether any request is queued or in flight.
+    pub fn is_active(&self) -> bool {
+        self.busy || self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Cycles the channel spent transferring data.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(stage: usize, tile: usize, bytes: u64) -> DramRequest {
+        DramRequest {
+            stage,
+            tile,
+            bytes,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_bandwidth_limited_plus_latency() {
+        let mut ch = DramChannel::new(4, 64.0, 100);
+        ch.enqueue(req(0, 0, 6400));
+        let issued = ch.try_issue(0).unwrap();
+        assert_eq!(issued.free_at, 100, "6400 B / 64 B-per-cycle");
+        assert_eq!(issued.done_at, 200, "plus one burst latency");
+        assert_eq!(ch.busy_cycles(), 100);
+        assert_eq!(ch.bytes_read(), 6400);
+    }
+
+    #[test]
+    fn channel_serialises_requests() {
+        let mut ch = DramChannel::new(2, 1.0, 0);
+        ch.enqueue(req(0, 0, 10));
+        ch.enqueue(req(1, 0, 10));
+        let first = ch.try_issue(0).unwrap();
+        assert!(ch.try_issue(0).is_none(), "channel busy");
+        ch.release();
+        let second = ch.try_issue(first.free_at).unwrap();
+        assert_eq!(second.free_at, 20);
+    }
+
+    #[test]
+    fn arbitration_is_round_robin_across_ports() {
+        let mut ch = DramChannel::new(3, 1.0, 0);
+        // Port 2 queues two requests, ports 0 and 1 one each.
+        ch.enqueue(req(2, 0, 1));
+        ch.enqueue(req(2, 1, 1));
+        ch.enqueue(req(0, 0, 1));
+        ch.enqueue(req(1, 0, 1));
+        let mut order = Vec::new();
+        let mut now = 0;
+        while ch.is_active() {
+            let issued = ch.try_issue(now).unwrap();
+            order.push(issued.request.stage);
+            now = issued.free_at;
+            ch.release();
+        }
+        // Starting at port 0: 0, 1, 2, then 2's second request.
+        assert_eq!(order, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn writes_and_reads_are_tracked_separately() {
+        let mut ch = DramChannel::new(1, 8.0, 0);
+        ch.enqueue(DramRequest {
+            stage: 0,
+            tile: 0,
+            bytes: 64,
+            write: true,
+        });
+        let issued = ch.try_issue(0).unwrap();
+        assert!(issued.request.write);
+        assert_eq!(ch.bytes_written(), 64);
+        assert_eq!(ch.bytes_read(), 0);
+    }
+
+    #[test]
+    fn zero_byte_request_frees_immediately() {
+        let mut ch = DramChannel::new(1, 64.0, 5);
+        ch.enqueue(req(0, 0, 0));
+        let issued = ch.try_issue(7).unwrap();
+        assert_eq!(issued.free_at, 7);
+        assert_eq!(issued.done_at, 12);
+    }
+
+    #[test]
+    fn idle_channel_issues_nothing() {
+        let mut ch = DramChannel::new(2, 4.0, 1);
+        assert!(ch.try_issue(0).is_none());
+        assert!(!ch.is_active());
+    }
+}

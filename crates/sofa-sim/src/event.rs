@@ -1,0 +1,129 @@
+//! Deterministic time-ordered event queue.
+//!
+//! The simulator advances by popping the earliest pending event; ties are
+//! broken by insertion order so runs are bit-reproducible regardless of the
+//! heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened at an event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A pipeline stage finished processing one tile.
+    StageDone {
+        /// Stage index (0 = predict … 3 = formal).
+        stage: usize,
+        /// Tile index.
+        tile: usize,
+    },
+    /// The DRAM channel finished streaming the current request's burst train
+    /// and can issue the next queued request.
+    DramFree,
+    /// A DRAM request's data has fully arrived at its requester.
+    DramDone {
+        /// Stage the request belonged to.
+        stage: usize,
+        /// Tile the request belonged to.
+        tile: usize,
+        /// Whether the request was a write (writes complete silently).
+        write: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of future events with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn push(&mut self, time: u64, kind: EventKind) {
+        self.heap.push(Scheduled {
+            time,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, returning `(time, kind)`.
+    pub fn pop(&mut self) -> Option<(u64, EventKind)> {
+        self.heap.pop().map(|s| (s.time, s.kind))
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::DramFree);
+        q.push(10, EventKind::StageDone { stage: 0, tile: 0 });
+        q.push(20, EventKind::StageDone { stage: 1, tile: 0 });
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for stage in 0..4 {
+            q.push(5, EventKind::StageDone { stage, tile: 9 });
+        }
+        for stage in 0..4 {
+            let (t, kind) = q.pop().unwrap();
+            assert_eq!(t, 5);
+            assert_eq!(kind, EventKind::StageDone { stage, tile: 9 });
+        }
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::DramFree);
+        assert!(!q.is_empty());
+        let _ = q.pop();
+        assert!(q.is_empty());
+    }
+}

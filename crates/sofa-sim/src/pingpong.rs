@@ -1,0 +1,203 @@
+//! Double-buffered (ping-pong) SRAM banks between pipeline stages.
+//!
+//! Each stage boundary of the tiled pipeline owns a small set of SRAM banks
+//! (two in the paper's design): the producer fills one bank while the
+//! consumer drains the other. A bank is *reserved* when the producer starts a
+//! tile, becomes *ready* when the producer finishes it, and is *released*
+//! when the consumer finishes draining it. The producer therefore stalls
+//! whenever both banks are occupied — exactly the back-pressure mechanism
+//! whose occupancy this module tracks.
+
+/// Lifecycle of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Producer is writing the tile into the bank.
+    Filling,
+    /// Tile is complete and waiting for (or being drained by) the consumer.
+    Ready,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tile: usize,
+    state: SlotState,
+    /// When the slot became `Ready` (for stall attribution).
+    ready_at: u64,
+}
+
+/// A ping-pong buffer of `capacity` banks with occupancy accounting.
+#[derive(Debug)]
+pub struct PingPongBuffer {
+    capacity: usize,
+    slots: Vec<Slot>,
+    /// Last time the occupancy changed, for the occupancy integral.
+    last_change: u64,
+    /// Σ occupancy · dt, for average-occupancy reporting.
+    occupancy_integral: u64,
+    /// When a bank was last freed (for back-pressure stall attribution).
+    last_release: u64,
+}
+
+impl PingPongBuffer {
+    /// Creates a buffer of `capacity` banks (the paper's design uses 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        PingPongBuffer {
+            capacity,
+            slots: Vec::new(),
+            last_change: 0,
+            occupancy_integral: 0,
+            last_release: 0,
+        }
+    }
+
+    fn advance(&mut self, now: u64) {
+        self.occupancy_integral += self.slots.len() as u64 * (now - self.last_change);
+        self.last_change = now;
+    }
+
+    /// Whether the producer can start filling a new bank.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.len() < self.capacity
+    }
+
+    /// Time the most recent bank was freed — the moment a producer blocked on
+    /// back-pressure became unblocked.
+    pub fn last_release_time(&self) -> u64 {
+        self.last_release
+    }
+
+    /// Producer starts filling a bank with `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bank is free.
+    pub fn reserve(&mut self, tile: usize, now: u64) {
+        assert!(self.has_free_slot(), "reserve on a full ping-pong buffer");
+        self.advance(now);
+        self.slots.push(Slot {
+            tile,
+            state: SlotState::Filling,
+            ready_at: u64::MAX,
+        });
+    }
+
+    /// Producer finished `tile`; the bank becomes consumable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` was never reserved.
+    pub fn mark_ready(&mut self, tile: usize, now: u64) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.tile == tile && s.state == SlotState::Filling)
+            .expect("mark_ready on unreserved tile");
+        slot.state = SlotState::Ready;
+        slot.ready_at = now;
+    }
+
+    /// When `tile` became ready for the consumer (`None` if not yet ready).
+    pub fn ready_time(&self, tile: usize) -> Option<u64> {
+        self.slots
+            .iter()
+            .find(|s| s.tile == tile && s.state == SlotState::Ready)
+            .map(|s| s.ready_at)
+    }
+
+    /// Consumer finished draining `tile`; the bank is freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is not resident and ready.
+    pub fn release(&mut self, tile: usize, now: u64) {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.tile == tile && s.state == SlotState::Ready)
+            .expect("release of a tile that is not resident");
+        self.advance(now);
+        self.slots.remove(idx);
+        self.last_release = now;
+    }
+
+    /// Current number of occupied banks (filling or ready).
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mean occupancy in banks over `[0, now]`.
+    pub fn average_occupancy(&self, now: u64) -> f64 {
+        if now == 0 {
+            return self.slots.len() as f64;
+        }
+        let integral = self.occupancy_integral + self.slots.len() as u64 * (now - self.last_change);
+        integral as f64 / now as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_drain_lifecycle() {
+        let mut b = PingPongBuffer::new(2);
+        assert!(b.has_free_slot());
+        b.reserve(0, 0);
+        assert_eq!(b.ready_time(0), None, "filling bank is not consumable");
+        b.mark_ready(0, 10);
+        assert_eq!(b.ready_time(0), Some(10));
+        b.reserve(1, 10);
+        assert!(!b.has_free_slot(), "both banks occupied");
+        b.release(0, 25);
+        assert!(b.has_free_slot());
+        assert_eq!(b.last_release_time(), 25);
+    }
+
+    #[test]
+    fn producer_blocks_when_both_banks_held() {
+        let mut b = PingPongBuffer::new(2);
+        b.reserve(0, 0);
+        b.mark_ready(0, 5);
+        b.reserve(1, 5);
+        b.mark_ready(1, 9);
+        // Tiles 0 and 1 both ready, none drained: a third reserve must wait.
+        assert!(!b.has_free_slot());
+        b.release(0, 12);
+        b.reserve(2, 12);
+        assert_eq!(b.occupancy(), 2);
+    }
+
+    #[test]
+    fn average_occupancy_integrates_over_time() {
+        let mut b = PingPongBuffer::new(2);
+        b.reserve(0, 0); // occupancy 1 over [0, 10)
+        b.mark_ready(0, 4);
+        b.reserve(1, 10); // occupancy 2 over [10, 20)
+        b.mark_ready(1, 15);
+        b.release(0, 20); // occupancy 1 over [20, 40)
+                          // Integral = 1·10 + 2·10 + 1·20 = 50 over 40 cycles.
+        assert!((b.average_occupancy(40) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ping-pong buffer")]
+    fn overfull_reserve_panics() {
+        let mut b = PingPongBuffer::new(1);
+        b.reserve(0, 0);
+        b.reserve(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn releasing_unknown_tile_panics() {
+        let mut b = PingPongBuffer::new(2);
+        b.reserve(0, 0);
+        b.release(3, 1);
+    }
+}

@@ -1,0 +1,573 @@
+//! The event-driven cycle-level simulator of the four-stage SOFA pipeline.
+//!
+//! [`CycleSim`] replays an [`AttentionTask`] tile by tile through
+//! DLZS predict → SADS sort → on-demand KV generation → SU-FA formal compute,
+//! with the structural constraints the analytic model abstracts away:
+//!
+//! * stages communicate through double-buffered (ping-pong) SRAM banks — a
+//!   producer stalls when both banks are occupied, a consumer starves when
+//!   none is ready;
+//! * all off-chip traffic shares one DRAM channel with round-robin
+//!   arbitration and per-burst latency — on-demand KV fetches contend with
+//!   prediction streams and output writeback;
+//! * the selected-KV fetch of a tile can only be *issued* once the sorting
+//!   stage has decided which keys the tile needs (the on-demand property);
+//! * per-tile work comes from [`SofaAccelerator::tile_descriptors`], so real
+//!   per-tile selection counts (Distributed Cluster Effect imbalance) shift
+//!   load between tiles.
+//!
+//! On compute-bound configurations the simulated cycle count converges to the
+//! analytic `SimReport` (same engine throughput models, same traffic); on
+//! memory-bound configurations it diverges upward and attributes the gap to
+//! per-stage DRAM stalls — the behaviour [`CycleSim::validate`] checks.
+
+use crate::dram::{DramChannel, DramRequest};
+use crate::event::{EventKind, EventQueue};
+use crate::pingpong::PingPongBuffer;
+use crate::report::{
+    BufferActivity, CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry,
+};
+use sofa_core::tiling::TileSelectionStats;
+use sofa_hw::accel::{AttentionTask, SofaAccelerator, StageCycles};
+use sofa_hw::config::HwConfig;
+use sofa_hw::descriptor::TileWork;
+use sofa_hw::engines::{DlzsWork, KvGenWork, SortWork, SuFaWork};
+
+const STAGES: usize = 4;
+
+/// Structural knobs of the simulated microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Ping-pong banks per stage boundary (the paper's design uses 2).
+    pub buffer_depth: usize,
+    /// Fixed DRAM latency from request issue to first data beat (cycles).
+    pub burst_latency: u64,
+    /// How many tiles ahead the prediction stage prefetches its key stream
+    /// (0 is treated as 1, i.e. fetch-on-demand).
+    pub prefetch_depth: usize,
+    /// Minimum cycles a tile occupies a stage (control overhead floor).
+    pub min_tile_cycles: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            buffer_depth: 2,
+            burst_latency: 64,
+            prefetch_depth: 2,
+            min_tile_cycles: 1,
+        }
+    }
+}
+
+/// The cycle-level simulator. Construct with [`CycleSim::new`], optionally
+/// toggle the ablation flags on [`CycleSim::accel`], then [`CycleSim::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct CycleSim {
+    /// The accelerator being simulated; its `rass` / `sufa` /
+    /// `include_kv_generation` flags steer the per-tile descriptors.
+    pub accel: SofaAccelerator,
+    /// Microarchitectural parameters of the simulation.
+    pub params: SimParams,
+}
+
+impl CycleSim {
+    /// Creates a simulator of the full-featured accelerator at `cfg`.
+    pub fn new(cfg: HwConfig) -> Self {
+        CycleSim {
+            accel: SofaAccelerator::new(cfg),
+            params: SimParams::default(),
+        }
+    }
+
+    /// Wraps an existing (possibly ablated) accelerator model.
+    pub fn from_accelerator(accel: SofaAccelerator, params: SimParams) -> Self {
+        CycleSim { accel, params }
+    }
+
+    /// Simulates `task` with expected-value per-tile selection counts.
+    pub fn run(&self, task: &AttentionTask) -> CycleReport {
+        self.run_with_stats(task, None)
+    }
+
+    /// Simulates `task` and cross-checks against the analytic model.
+    pub fn validate(&self, task: &AttentionTask) -> (CycleReport, CycleComparison) {
+        let report = self.run(task);
+        let analytic = self.accel.simulate(task);
+        let cmp = report.compare(&analytic, self.accel.config().freq_hz);
+        (report, cmp)
+    }
+
+    /// Simulates `task`, optionally driven by real per-tile selection counts
+    /// from `sofa_core::pipeline::PipelineResult::tile_selection_stats`.
+    pub fn run_with_stats(
+        &self,
+        task: &AttentionTask,
+        stats: Option<&TileSelectionStats>,
+    ) -> CycleReport {
+        let work = self.accel.tile_descriptors(task, stats);
+        let cycles = self.tile_cycles(task, &work);
+        Engine::new(self, &work, cycles).run()
+    }
+
+    /// Per-tile compute cycles of each stage.
+    ///
+    /// Each stage's *whole-task* cycle count comes from the same engine
+    /// models the analytic `SofaAccelerator::simulate` uses (including the
+    /// fill latency and the query-line utilization scaling), evaluated on the
+    /// summed per-tile work. That total is then distributed over the tiles
+    /// proportionally to each tile's share of the stage's work — so the
+    /// simulated stage-busy totals match the analytic stage cycles exactly,
+    /// and every deviation of the end-to-end cycle count is attributable to
+    /// pipeline structure (buffers, DRAM, imbalance), not to a different
+    /// compute model.
+    fn tile_cycles(&self, task: &AttentionTask, work: &[TileWork]) -> Vec<[u64; STAGES]> {
+        let cfg = self.accel.config();
+        let util = task.line_utilization(cfg.query_parallelism);
+        let floor = self.params.min_tile_cycles;
+        let n = work.len();
+
+        // Aggregate work per stage (equals the analytic model's amounts when
+        // the descriptors come from expected values).
+        let agg = work.iter().fold(
+            (
+                DlzsWork::default(),
+                SortWork::default(),
+                KvGenWork::default(),
+                SuFaWork::default(),
+            ),
+            |mut acc, w| {
+                acc.0.shift_ops += w.dlzs.shift_ops;
+                acc.0.lz_encodes += w.dlzs.lz_encodes;
+                acc.1.elements += w.sort.elements;
+                acc.2.macs += w.kvgen.macs;
+                acc.3.macs += w.sufa.macs;
+                acc.3.exps += w.sufa.exps;
+                acc.3.divs += w.sufa.divs;
+                acc
+            },
+        );
+        let totals = StageCycles::from_work(cfg, &agg.0, &agg.1, &agg.2, &agg.3, util);
+        let stage_totals = [
+            totals.prediction,
+            totals.sorting,
+            totals.kv_generation,
+            totals.formal,
+        ];
+
+        // Per-tile share of each stage's work (uniform when a stage has no
+        // work at all, so fixed costs still spread over the tiles).
+        let weights: [Vec<f64>; STAGES] = [
+            work.iter()
+                .map(|w| {
+                    (w.dlzs.shift_ops as f64 / cfg.dlzs_ops_per_cycle())
+                        .max(w.dlzs.lz_encodes as f64 / cfg.query_parallelism as f64)
+                })
+                .collect(),
+            work.iter().map(|w| w.sort.elements as f64).collect(),
+            work.iter().map(|w| w.kvgen.macs as f64).collect(),
+            work.iter()
+                .map(|w| {
+                    (w.sufa.macs as f64 / cfg.sufa_macs_per_cycle())
+                        .max((w.sufa.exps + w.sufa.divs) as f64 / cfg.exp_units as f64)
+                })
+                .collect(),
+        ];
+
+        let mut cycles = vec![[floor; STAGES]; n];
+        for s in 0..STAGES {
+            let sum: f64 = weights[s].iter().sum();
+            for (t, row) in cycles.iter_mut().enumerate() {
+                let share = if sum > 0.0 {
+                    weights[s][t] / sum
+                } else {
+                    1.0 / n as f64
+                };
+                row[s] = ((stage_totals[s] * share).ceil() as u64).max(floor);
+            }
+        }
+        cycles
+    }
+}
+
+/// Which stage a DRAM read feeds, per tile.
+fn read_bytes(work: &TileWork, stage: usize) -> u64 {
+    match stage {
+        0 => work.pred_read_bytes,
+        2 => work.kv_read_bytes,
+        3 => work.extra_formal_read_bytes,
+        _ => 0,
+    }
+}
+
+/// Run state of one simulation.
+struct Engine<'a> {
+    sim: &'a CycleSim,
+    work: &'a [TileWork],
+    cycles: Vec<[u64; STAGES]>,
+    n: usize,
+    queue: EventQueue,
+    dram: DramChannel,
+    buffers: Vec<PingPongBuffer>,
+    busy: [bool; STAGES],
+    next_tile: [usize; STAGES],
+    idle_since: [u64; STAGES],
+    read_done: Vec<Vec<Option<u64>>>,
+    acts: [StageActivity; STAGES],
+    timeline: Vec<TimelineEntry>,
+    end_time: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sim: &'a CycleSim, work: &'a [TileWork], cycles: Vec<[u64; STAGES]>) -> Self {
+        let cfg = sim.accel.config();
+        let bytes_per_cycle = cfg.dram_bandwidth_bps / cfg.freq_hz;
+        let n = work.len();
+        let mut read_done = vec![vec![None; n]; STAGES];
+        // The sorting stage never touches DRAM.
+        read_done[1] = vec![Some(0); n];
+        Engine {
+            sim,
+            work,
+            cycles,
+            n,
+            queue: EventQueue::new(),
+            dram: DramChannel::new(STAGES, bytes_per_cycle, sim.params.burst_latency),
+            buffers: (0..STAGES - 1)
+                .map(|_| PingPongBuffer::new(sim.params.buffer_depth))
+                .collect(),
+            busy: [false; STAGES],
+            next_tile: [0; STAGES],
+            idle_since: [0; STAGES],
+            read_done,
+            acts: [StageActivity::default(); STAGES],
+            timeline: Vec::new(),
+            end_time: 0,
+        }
+    }
+
+    fn prefetch_depth(&self) -> usize {
+        // Depth 0 would never prime a read and the run would silently be
+        // empty; clamp to fetch-on-demand.
+        self.sim.params.prefetch_depth.max(1)
+    }
+
+    fn run(mut self) -> CycleReport {
+        // Prime the prediction stage's double-buffered fetch unit.
+        for t in 0..self.prefetch_depth().min(self.n) {
+            self.issue_read(0, t, 0);
+        }
+        self.try_start_all(0);
+
+        while let Some((now, kind)) = self.queue.pop() {
+            self.end_time = self.end_time.max(now);
+            match kind {
+                EventKind::StageDone { stage, tile } => self.on_stage_done(stage, tile, now),
+                EventKind::DramFree => {
+                    self.dram.release();
+                    self.pump_dram(now);
+                }
+                EventKind::DramDone { stage, tile, write } => {
+                    if !write {
+                        self.read_done[stage][tile] = Some(now);
+                        self.try_start_all(now);
+                    }
+                }
+            }
+        }
+
+        let buffers = [0, 1, 2].map(|i| BufferActivity {
+            average_occupancy: self.buffers[i].average_occupancy(self.end_time),
+            capacity: self.sim.params.buffer_depth,
+        });
+        CycleReport {
+            total_cycles: self.end_time,
+            stages: self.acts,
+            dram: DramActivity {
+                bytes_read: self.dram.bytes_read(),
+                bytes_written: self.dram.bytes_written(),
+                busy_cycles: self.dram.busy_cycles(),
+            },
+            buffers,
+            timeline: self.timeline,
+            num_tiles: self.n,
+        }
+    }
+
+    fn on_stage_done(&mut self, stage: usize, tile: usize, now: u64) {
+        self.busy[stage] = false;
+        self.idle_since[stage] = now;
+        if stage > 0 {
+            // Drained the upstream bank: the producer may refill it.
+            self.buffers[stage - 1].release(tile, now);
+        }
+        if stage < STAGES - 1 {
+            self.buffers[stage].mark_ready(tile, now);
+        }
+        match stage {
+            0 => {
+                // Keep the key-stream prefetcher `prefetch_depth` tiles ahead.
+                let ahead = tile + self.prefetch_depth();
+                if ahead < self.n {
+                    self.issue_read(0, ahead, now);
+                }
+            }
+            // The sorted selection exists now: the tile's KV fetch can go out
+            // (on-demand generation / RASS-deduplicated fetch).
+            1 => self.issue_read(2, tile, now),
+            // Without RASS, the formal stage refetches shared vectors.
+            2 => self.issue_read(3, tile, now),
+            3 => {
+                let bytes = self.work[tile].write_bytes;
+                if bytes > 0 {
+                    self.dram.enqueue(DramRequest {
+                        stage: 3,
+                        tile,
+                        bytes,
+                        write: true,
+                    });
+                    self.pump_dram(now);
+                }
+            }
+            _ => unreachable!(),
+        }
+        self.try_start_all(now);
+    }
+
+    fn issue_read(&mut self, stage: usize, tile: usize, now: u64) {
+        let bytes = read_bytes(&self.work[tile], stage);
+        if bytes == 0 {
+            self.read_done[stage][tile] = Some(now);
+            return;
+        }
+        self.dram.enqueue(DramRequest {
+            stage,
+            tile,
+            bytes,
+            write: false,
+        });
+        self.pump_dram(now);
+    }
+
+    fn pump_dram(&mut self, now: u64) {
+        if let Some(issued) = self.dram.try_issue(now) {
+            self.queue.push(issued.free_at, EventKind::DramFree);
+            self.queue.push(
+                issued.done_at,
+                EventKind::DramDone {
+                    stage: issued.request.stage,
+                    tile: issued.request.tile,
+                    write: issued.request.write,
+                },
+            );
+        }
+    }
+
+    fn try_start_all(&mut self, now: u64) {
+        // A start can unblock nothing mid-cycle (banks free on *completion*),
+        // so one pass over the stages suffices per event.
+        for s in 0..STAGES {
+            self.try_start(s, now);
+        }
+    }
+
+    fn try_start(&mut self, stage: usize, now: u64) {
+        if self.busy[stage] {
+            return;
+        }
+        let tile = self.next_tile[stage];
+        if tile >= self.n {
+            return;
+        }
+        // Input bank ready? (The prediction stage reads the raw key stream.)
+        let input_at = if stage == 0 {
+            0
+        } else {
+            match self.buffers[stage - 1].ready_time(tile) {
+                Some(t) => t,
+                None => return,
+            }
+        };
+        // Operand data arrived from DRAM?
+        let read_at = match self.read_done[stage][tile] {
+            Some(t) => t,
+            None => return,
+        };
+        // Downstream bank free to fill?
+        let out_at = if stage == STAGES - 1 {
+            0
+        } else {
+            if !self.buffers[stage].has_free_slot() {
+                return;
+            }
+            self.buffers[stage].last_release_time()
+        };
+
+        // Attribute the idle gap to the constraint that resolved last.
+        let waited = now - self.idle_since[stage];
+        if waited > 0 {
+            if read_at >= input_at && read_at >= out_at {
+                self.acts[stage].stall_dram += waited;
+            } else if input_at >= out_at {
+                self.acts[stage].stall_input += waited;
+            } else {
+                self.acts[stage].stall_output += waited;
+            }
+        }
+
+        let dur = self.cycles[tile][stage];
+        let end = now + dur;
+        self.busy[stage] = true;
+        self.next_tile[stage] = tile + 1;
+        self.acts[stage].busy += dur;
+        self.acts[stage].tiles += 1;
+        if stage < STAGES - 1 {
+            self.buffers[stage].reserve(tile, now);
+        }
+        self.timeline.push(TimelineEntry {
+            stage,
+            tile,
+            start: now,
+            end,
+        });
+        self.queue.push(end, EventKind::StageDone { stage, tile });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_task() -> AttentionTask {
+        AttentionTask::new(16, 512, 256, 4, 0.25, 32)
+    }
+
+    #[test]
+    fn all_tiles_flow_through_every_stage() {
+        let sim = CycleSim::new(HwConfig::small());
+        let r = sim.run(&small_task());
+        assert_eq!(r.num_tiles, 16);
+        for s in &r.stages {
+            assert_eq!(s.tiles, 16);
+        }
+        assert_eq!(r.timeline.len(), 4 * 16);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn timeline_respects_dataflow_order() {
+        let sim = CycleSim::new(HwConfig::small());
+        let r = sim.run(&small_task());
+        let find = |stage, tile| {
+            r.timeline
+                .iter()
+                .find(|e| e.stage == stage && e.tile == tile)
+                .copied()
+                .expect("entry exists")
+        };
+        for tile in 0..r.num_tiles {
+            for stage in 1..4 {
+                assert!(
+                    find(stage, tile).start >= find(stage - 1, tile).end,
+                    "stage {stage} of tile {tile} started before its input was ready"
+                );
+            }
+        }
+        for stage in 0..4 {
+            for tile in 1..r.num_tiles {
+                assert!(
+                    find(stage, tile).start >= find(stage, tile - 1).end,
+                    "stage {stage} processed tiles out of order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dram_traffic_matches_descriptors() {
+        let sim = CycleSim::new(HwConfig::small());
+        let task = small_task();
+        let work = sim.accel.tile_descriptors(&task, None);
+        let r = sim.run(&task);
+        let want_read: u64 = work
+            .iter()
+            .map(|w| w.pred_read_bytes + w.kv_read_bytes + w.extra_formal_read_bytes)
+            .sum();
+        let want_write: u64 = work.iter().map(|w| w.write_bytes).sum();
+        assert_eq!(r.dram.bytes_read, want_read);
+        assert_eq!(r.dram.bytes_written, want_write);
+    }
+
+    #[test]
+    fn busy_plus_stall_never_exceeds_total() {
+        let sim = CycleSim::new(HwConfig::small());
+        let r = sim.run(&small_task());
+        for s in &r.stages {
+            assert!(s.busy + s.total_stall() <= r.total_cycles);
+        }
+    }
+
+    #[test]
+    fn single_tile_task_runs_stages_serially() {
+        // Tile larger than the sequence: one tile, no pipelining possible.
+        let sim = CycleSim::new(HwConfig::small());
+        let task = AttentionTask::new(8, 48, 64, 2, 0.5, 64);
+        let r = sim.run(&task);
+        assert_eq!(r.num_tiles, 1);
+        assert_eq!(r.timeline.len(), 4);
+        for w in r.timeline.windows(2) {
+            assert!(w[1].start >= w[0].end, "single tile cannot pipeline");
+        }
+    }
+
+    #[test]
+    fn zero_kept_keys_still_drains_the_pipeline() {
+        // A mask that kept nothing: formal/kv stages see zero work but every
+        // tile still flows through (control overhead floor).
+        use sofa_core::topk::TopKMask;
+        let mask = TopKMask::new(96, vec![vec![]; 8]);
+        let stats = TileSelectionStats::from_mask(&mask, 32);
+        let task = AttentionTask::new(8, 96, 64, 2, 0.01, 32);
+        let sim = CycleSim::new(HwConfig::small());
+        let r = sim.run_with_stats(&task, Some(&stats));
+        assert_eq!(r.num_tiles, 3);
+        assert_eq!(r.stages[3].tiles, 3);
+        assert_eq!(r.dram.bytes_written, 8 * 64 * 2);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn imbalanced_stats_slow_the_pipeline_down() {
+        use sofa_core::topk::TopKMask;
+        let task = AttentionTask::new(16, 512, 256, 4, 0.125, 32);
+        let sim = CycleSim::new(HwConfig::small());
+        let balanced = sim.run(&task);
+        // All 64 selections of every query crammed into the first two tiles.
+        let rows: Vec<Vec<usize>> = (0..16).map(|_| (0..64).collect()).collect();
+        let stats = TileSelectionStats::from_mask(&TopKMask::new(512, rows), 32);
+        let skewed = sim.run_with_stats(&task, Some(&stats));
+        assert!(
+            skewed.total_cycles > balanced.total_cycles,
+            "clustered selections must serialise the formal stage: {} vs {}",
+            skewed.total_cycles,
+            balanced.total_cycles
+        );
+    }
+
+    #[test]
+    fn zero_prefetch_depth_degrades_to_fetch_on_demand() {
+        let mut sim = CycleSim::new(HwConfig::small());
+        sim.params.prefetch_depth = 0;
+        let r = sim.run(&small_task());
+        assert_eq!(r.stages[0].tiles, r.num_tiles, "run must not be empty");
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sim = CycleSim::new(HwConfig::small());
+        let a = sim.run(&small_task());
+        let b = sim.run(&small_task());
+        assert_eq!(a, b);
+    }
+}

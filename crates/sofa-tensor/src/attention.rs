@@ -30,7 +30,11 @@ pub fn attention_scores(q: &Matrix, k: &Matrix) -> Matrix {
 ///
 /// Panics if shapes are inconsistent.
 pub fn dense_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
-    assert_eq!(k.rows(), v.rows(), "K and V must have the same context length");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "K and V must have the same context length"
+    );
     let scores = attention_scores(q, k);
     let probs = softmax_rows(&scores);
     probs.matmul(v).expect("probabilities and V are conformant")
@@ -46,13 +50,17 @@ pub fn dense_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
 ///
 /// Panics if shapes are inconsistent.
 pub fn masked_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: &[Vec<bool>]) -> Matrix {
-    assert_eq!(k.rows(), v.rows(), "K and V must have the same context length");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "K and V must have the same context length"
+    );
     assert_eq!(mask.len(), q.rows(), "mask must have one row per query");
     let scores = attention_scores(q, k);
     let mut out = Matrix::zeros(q.rows(), v.cols());
-    for i in 0..q.rows() {
-        assert_eq!(mask[i].len(), k.rows(), "mask row length must equal S");
-        let probs = masked_softmax_row(scores.row(i), &mask[i]);
+    for (i, mask_row) in mask.iter().enumerate() {
+        assert_eq!(mask_row.len(), k.rows(), "mask row length must equal S");
+        let probs = masked_softmax_row(scores.row(i), mask_row);
         for (j, &p) in probs.iter().enumerate() {
             if p == 0.0 {
                 continue;

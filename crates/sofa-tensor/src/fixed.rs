@@ -28,7 +28,11 @@ impl QuantParams {
     pub fn from_max_abs(bits: u32, max_abs: f32) -> Self {
         assert!((2..=16).contains(&bits), "bits must be within 2..=16");
         let qmax = ((1i32 << (bits - 1)) - 1) as f32;
-        let max_abs = if max_abs <= f32::EPSILON { 1.0 } else { max_abs };
+        let max_abs = if max_abs <= f32::EPSILON {
+            1.0
+        } else {
+            max_abs
+        };
         QuantParams {
             bits,
             scale: max_abs / qmax,
@@ -37,10 +41,7 @@ impl QuantParams {
 
     /// Derives parameters from the observed dynamic range of a matrix.
     pub fn fit(bits: u32, m: &Matrix) -> Self {
-        let max_abs = m
-            .as_slice()
-            .iter()
-            .fold(0.0f32, |acc, &x| acc.max(x.abs()));
+        let max_abs = m.as_slice().iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
         Self::from_max_abs(bits, max_abs)
     }
 
@@ -211,7 +212,10 @@ mod tests {
         let e8 = Quantized::from_matrix(8, &m).mean_abs_error(&m);
         let e16 = Quantized::from_matrix(16, &m).mean_abs_error(&m);
         assert!(e4 > e8, "4-bit error {e4} should exceed 8-bit error {e8}");
-        assert!(e8 > e16, "8-bit error {e8} should exceed 16-bit error {e16}");
+        assert!(
+            e8 > e16,
+            "8-bit error {e8} should exceed 16-bit error {e16}"
+        );
         assert!(e16 < 1e-3);
     }
 

@@ -1,0 +1,102 @@
+//! Cycle-level simulation of the SOFA pipeline, driven by the real per-tile
+//! key-selection counts of an algorithm-level pipeline run.
+//!
+//! ```bash
+//! cargo run --example cycle_level_sim
+//! ```
+//!
+//! The algorithm pipeline (`sofa-core`) produces the actual top-k mask of a
+//! synthetic workload; its per-tile selection statistics then drive the
+//! event-driven simulator (`sofa-sim`), so tile load imbalance from the
+//! Distributed Cluster Effect — not just expected values — shapes the
+//! timeline. The run is cross-checked against the analytic model (`sofa-hw`).
+
+use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
+use sofa_hw::accel::AttentionTask;
+use sofa_hw::config::HwConfig;
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_sim::report::STAGE_NAMES;
+use sofa_sim::CycleSim;
+
+fn main() {
+    // 1. Run the algorithm pipeline to get a real selection mask.
+    let tile_size = 16;
+    let keep = 0.25;
+    let workload =
+        AttentionWorkload::generate(&ScoreDistribution::llama_like(), 32, 512, 64, 64, 7);
+    let config = PipelineConfig::new(keep, tile_size).expect("valid configuration");
+    let result = SofaPipeline::new(config).run(&workload);
+    let stats = result.tile_selection_stats(tile_size);
+
+    println!("SOFA cycle-level simulation");
+    println!("  workload             : 32 queries x 512 keys (Llama-like scores)");
+    println!(
+        "  kept Q-K pairs       : {:.1}%",
+        result.mask.keep_ratio() * 100.0
+    );
+    println!("  tiles                : {}", stats.num_tiles());
+    println!(
+        "  tile load imbalance  : {:.2}x (busiest / mean)",
+        stats.imbalance()
+    );
+
+    // 2. Replay the same task cycle by cycle, driven by the measured stats.
+    let task = AttentionTask::new(32, 512, 64 * 64, 64, keep, tile_size);
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let report = sim.run_with_stats(&task, Some(&stats));
+    let analytic = sim.accel.simulate(&task);
+    let cmp = report.compare(&analytic, sim.accel.config().freq_hz);
+
+    println!("\nCycle-level result");
+    println!("  total cycles         : {}", report.total_cycles);
+    println!("  analytic cycles      : {:.0}", cmp.analytic_cycles);
+    println!(
+        "  relative error       : {:+.1}%",
+        100.0 * cmp.relative_error
+    );
+    println!(
+        "  bound                : {}",
+        if cmp.analytic_memory_bound {
+            "memory"
+        } else {
+            "compute"
+        }
+    );
+    println!(
+        "  DRAM stall fraction  : {:.1}%",
+        100.0 * cmp.dram_stall_fraction
+    );
+    println!(
+        "  bottleneck stage     : {}",
+        STAGE_NAMES[report.bottleneck_stage()]
+    );
+    println!(
+        "  DRAM traffic         : {:.1} KB read, {:.1} KB written",
+        report.dram.bytes_read as f64 / 1e3,
+        report.dram.bytes_written as f64 / 1e3
+    );
+
+    println!("\nPer-stage activity");
+    print!("{}", report.stage_summary());
+
+    println!(
+        "Ping-pong buffer occupancy (avg of {} banks)",
+        report.buffers[0].capacity
+    );
+    for (i, b) in report.buffers.iter().enumerate() {
+        println!(
+            "  {} -> {:<7}: {:.2}",
+            STAGE_NAMES[i],
+            STAGE_NAMES[i + 1],
+            b.average_occupancy
+        );
+    }
+
+    println!("\nFirst tiles of the timeline (stage, tile, start..end)");
+    for e in report.timeline.iter().take(12) {
+        println!(
+            "  {:<8} tile {:>2}  {:>6}..{:<6}",
+            STAGE_NAMES[e.stage], e.tile, e.start, e.end
+        );
+    }
+}

@@ -23,8 +23,7 @@ fn main() {
     );
 
     // Loss term: proxy loss of the SOFA pipeline on a representative workload.
-    let workload =
-        AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 256, 64, 32, 7);
+    let workload = AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 256, 64, 32, 7);
     let dense = workload.dense_output();
     let loss_fn = |c: &sofa_core::dse::DseCandidate| {
         let bc = (c.tile_sizes.iter().sum::<usize>() / c.tile_sizes.len()).max(2);

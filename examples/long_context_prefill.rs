@@ -40,5 +40,7 @@ fn main() {
         );
     }
     println!();
-    println!("DRAM ratio = whole-row traffic / SOFA traffic (higher = more saved by cross-stage tiling)");
+    println!(
+        "DRAM ratio = whole-row traffic / SOFA traffic (higher = more saved by cross-stage tiling)"
+    );
 }

@@ -24,8 +24,15 @@ fn main() {
     println!("SOFA quickstart");
     println!("  queries            : {}", workload.queries());
     println!("  context length     : {}", workload.seq_len());
-    println!("  kept Q-K pairs     : {:.1}%", result.mask.keep_ratio() * 100.0);
-    println!("  keys generated     : {} / {}", result.keys_generated, workload.seq_len());
+    println!(
+        "  kept Q-K pairs     : {:.1}%",
+        result.mask.keep_ratio() * 100.0
+    );
+    println!(
+        "  keys generated     : {} / {}",
+        result.keys_generated,
+        workload.seq_len()
+    );
     println!("  accuracy proxy loss: {loss:.4}");
     println!("  prediction ops     : {}", result.prediction.ops);
     println!("  sorting ops        : {}", result.sorting_ops);

@@ -1,0 +1,20 @@
+//! Facade crate of the SOFA reproduction workspace.
+//!
+//! Re-exports every layer so downstream code (and the examples/tests in this
+//! package) can reach the whole stack through one dependency:
+//!
+//! * [`tensor`] — matrices, softmax, fixed-point and deterministic RNG.
+//! * [`model`] — workload shapes, score distributions, benchmark suite.
+//! * [`core`] — the SOFA algorithms (DLZS, SADS, SU-FA, pipeline, DSE).
+//! * [`hw`] — analytic hardware models (engines, memory, energy, RASS).
+//! * [`sim`] — the event-driven cycle-level simulator of the tiled pipeline.
+//! * [`baselines`] — GPU/TPU and SOTA-accelerator comparison baselines.
+//! * [`bench`] — the experiment harness regenerating the paper's figures.
+
+pub use sofa_baselines as baselines;
+pub use sofa_bench as bench;
+pub use sofa_core as core;
+pub use sofa_hw as hw;
+pub use sofa_model as model;
+pub use sofa_sim as sim;
+pub use sofa_tensor as tensor;

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the event-driven cycle-level simulator
+//! (`sofa-sim`) validated against the analytic hardware model (`sofa-hw`),
+//! and driven by real selection masks from the algorithm crate (`sofa-core`).
+
+use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
+use sofa_hw::accel::{AttentionTask, SofaAccelerator};
+use sofa_hw::config::HwConfig;
+use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_sim::{CycleSim, SimParams};
+
+/// On compute-bound configurations the cycle simulator and the analytic model
+/// share throughput models and traffic volumes, so their end-to-end cycle
+/// counts must agree within the tolerance band.
+#[test]
+fn cycle_sim_tracks_analytic_model_on_compute_bound_grid() {
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let mut checked = 0;
+    for t in [1usize, 8, 16] {
+        for s in [512usize, 1024] {
+            for keep in [0.1, 0.25, 0.5] {
+                for bc in [16usize, 32] {
+                    let task = AttentionTask::new(t, s, 1024, 8, keep, bc);
+                    let (_, cmp) = sim.validate(&task);
+                    if cmp.analytic_memory_bound {
+                        continue;
+                    }
+                    checked += 1;
+                    assert!(
+                        cmp.agrees_within(0.15),
+                        "T={t} S={s} keep={keep} Bc={bc}: cycle {} vs analytic {} ({:+.1}%)",
+                        cmp.simulated_cycles,
+                        cmp.analytic_cycles,
+                        100.0 * cmp.relative_error
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 12,
+        "grid must contain compute-bound points: {checked}"
+    );
+}
+
+/// At high token parallelism the KV stream dominates: the analytic model
+/// flips memory-bound and the simulation must show where the cycles went —
+/// a nonzero DRAM-stall fraction — while never finishing faster than the
+/// bandwidth bound the analytic model represents.
+#[test]
+fn cycle_sim_reports_dram_stalls_at_high_token_parallelism() {
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let mut seen_memory_bound = 0;
+    for t in [64usize, 128] {
+        for s in [2048usize, 4096] {
+            let task = AttentionTask::new(t, s, 1024, 8, 0.1, 16);
+            let (_, cmp) = sim.validate(&task);
+            assert!(
+                cmp.analytic_memory_bound,
+                "T={t} S={s} should be memory-bound"
+            );
+            seen_memory_bound += 1;
+            assert!(
+                cmp.dram_stall_fraction > 0.1,
+                "T={t} S={s}: DRAM stall fraction {:.3} too small for a memory-bound run",
+                cmp.dram_stall_fraction
+            );
+            assert!(
+                cmp.relative_error > -0.05,
+                "T={t} S={s}: simulation cannot beat the bandwidth bound ({:+.1}%)",
+                100.0 * cmp.relative_error
+            );
+        }
+    }
+    assert_eq!(seen_memory_bound, 4);
+}
+
+/// The same task gets slower, never faster, when the keep ratio grows.
+#[test]
+fn cycle_counts_are_monotonic_in_keep_ratio() {
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let run = |keep: f64| {
+        sim.run(&AttentionTask::new(16, 1024, 1024, 8, keep, 16))
+            .total_cycles
+    };
+    let (sparse, medium, dense) = (run(0.1), run(0.3), run(0.9));
+    assert!(
+        sparse <= medium && medium <= dense,
+        "{sparse} {medium} {dense}"
+    );
+}
+
+/// Real per-tile selection statistics from the algorithm pipeline drive the
+/// simulator end to end, and clustered selections cost cycles relative to the
+/// uniform expectation.
+#[test]
+fn real_pipeline_stats_drive_the_cycle_simulator() {
+    let tile_size = 16;
+    let keep = 0.25;
+    let workload =
+        AttentionWorkload::generate(&ScoreDistribution::llama_like(), 16, 256, 48, 32, 11);
+    let result = SofaPipeline::new(PipelineConfig::new(keep, tile_size).unwrap()).run(&workload);
+    let stats = result.tile_selection_stats(tile_size);
+    assert_eq!(stats.num_tiles(), 256 / tile_size);
+    assert!(stats.imbalance() >= 1.0);
+
+    let task = AttentionTask::new(16, 256, 48 * 32, 32, keep, tile_size);
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let with_stats = sim.run_with_stats(&task, Some(&stats));
+    let uniform = sim.run(&task);
+    assert_eq!(with_stats.num_tiles, uniform.num_tiles);
+    assert!(with_stats.total_cycles > 0);
+    // The real mask keeps the same pair count but its measured key union (and
+    // hence KV traffic) differs from the analytic estimate, and clustering
+    // shifts load between tiles — the totals must stay close, not identical.
+    let rel = (with_stats.total_cycles as f64 - uniform.total_cycles as f64).abs()
+        / uniform.total_cycles as f64;
+    assert!(
+        rel < 0.10,
+        "real stats {} vs uniform {} ({rel:.3})",
+        with_stats.total_cycles,
+        uniform.total_cycles
+    );
+}
+
+/// Ablation flags flow through the descriptors into the simulation: dropping
+/// RASS adds refetch traffic, which can only increase simulated cycles.
+#[test]
+fn disabling_rass_never_speeds_up_the_simulation() {
+    let task = AttentionTask::new(64, 2048, 1024, 8, 0.25, 16);
+    let mut accel = SofaAccelerator::new(HwConfig::paper_default());
+    let with_rass = CycleSim::from_accelerator(accel, SimParams::default()).run(&task);
+    accel.rass = false;
+    let without_rass = CycleSim::from_accelerator(accel, SimParams::default()).run(&task);
+    assert!(without_rass.dram.bytes_read > with_rass.dram.bytes_read);
+    assert!(without_rass.total_cycles >= with_rass.total_cycles);
+}
+
+/// Structural sanity on an edge case: a tile wider than the whole sequence
+/// degenerates to a serial four-stage pass that still terminates and accounts
+/// every stage.
+#[test]
+fn oversized_tile_degenerates_to_serial_execution() {
+    let sim = CycleSim::new(HwConfig::small());
+    let task = AttentionTask::new(4, 100, 64, 2, 0.3, 256);
+    let report = sim.run(&task);
+    assert_eq!(report.num_tiles, 1);
+    assert_eq!(report.timeline.len(), 4);
+    let total_busy: u64 = report.stages.iter().map(|s| s.busy).sum();
+    assert!(
+        report.total_cycles >= total_busy,
+        "serial stages cannot overlap"
+    );
+}
