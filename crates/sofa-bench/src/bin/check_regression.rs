@@ -1,0 +1,93 @@
+//! CI benchmark-regression gate.
+//!
+//! Exits non-zero (failing the bench-smoke job) when either
+//!
+//! 1. the cycle-level simulator diverges more than 25 % from the analytic
+//!    model on any *compute-bound* configuration of the standard grid — the
+//!    two share engine throughput models and traffic volumes, so divergence
+//!    there means a simulator or model regression, not a modelling choice
+//!    (memory-bound configurations are expected to diverge and are skipped);
+//! 2. any smoke experiment panics or produces an empty table.
+//!
+//! Run locally with `cargo run -p sofa-bench --bin check_regression`.
+
+use sofa_bench::experiments;
+use sofa_bench::Table;
+use sofa_hw::config::HwConfig;
+use sofa_sim::CycleSim;
+use std::panic::catch_unwind;
+use std::process::ExitCode;
+
+/// Maximum |relative error| tolerated between cycle simulation and the
+/// analytic model on compute-bound configurations.
+const TOLERANCE: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let mut failures: Vec<String> = Vec::new();
+
+    // Gate 1 — cycle-sim fidelity on the standard grid.
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let mut compute_bound = 0;
+    for task in experiments::cycle_sim_tasks() {
+        match catch_unwind(|| sim.validate(&task).1) {
+            Ok(cmp) if !cmp.analytic_memory_bound => {
+                compute_bound += 1;
+                if !cmp.agrees_within(TOLERANCE) {
+                    failures.push(format!(
+                        "cycle sim diverged {:+.1}% (> {:.0}%) from the analytic model on \
+                         compute-bound T={} S={} keep={} Bc={}",
+                        100.0 * cmp.relative_error,
+                        100.0 * TOLERANCE,
+                        task.queries,
+                        task.seq_len,
+                        task.keep_ratio,
+                        task.tile_size,
+                    ));
+                }
+            }
+            Ok(_) => {}
+            Err(_) => failures.push(format!(
+                "cycle sim panicked on T={} S={}",
+                task.queries, task.seq_len
+            )),
+        }
+    }
+    if compute_bound == 0 {
+        failures.push("grid contains no compute-bound configuration to check".into());
+    }
+
+    // Gate 2 — the smoke experiments run to completion and produce rows.
+    type Check = (&'static str, fn() -> Table);
+    let checks: [Check; 4] = [
+        ("sim_cycle_vs_analytic", experiments::sim_cycle_vs_analytic),
+        ("sim_stall_breakdown", experiments::sim_stall_breakdown),
+        (
+            "serve_throughput_latency",
+            experiments::serve_throughput_latency,
+        ),
+        ("serve_scaling", experiments::serve_scaling),
+    ];
+    for (name, run) in checks {
+        match catch_unwind(run) {
+            Ok(table) if table.rows.is_empty() => {
+                failures.push(format!("{name} produced an empty table"))
+            }
+            Ok(_) => println!("ok: {name}"),
+            Err(_) => failures.push(format!("{name} panicked")),
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "regression gate passed: {compute_bound} compute-bound configs within {:.0}%",
+            100.0 * TOLERANCE
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("regression gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

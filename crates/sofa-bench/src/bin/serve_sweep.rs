@@ -1,0 +1,19 @@
+//! Prints the serving experiments — continuous-batching latency percentiles
+//! and multi-instance strong scaling — and optionally writes them as a JSON
+//! artifact (`--json <path>`), which the CI bench-smoke job uploads per PR.
+
+use sofa_bench::report::write_json_artifact_from_args;
+
+fn main() {
+    let tables = [
+        sofa_bench::experiments::serve_throughput_latency(),
+        sofa_bench::experiments::serve_scaling(),
+    ];
+    for t in &tables {
+        t.print();
+        println!();
+    }
+    if let Some(path) = write_json_artifact_from_args(&tables) {
+        eprintln!("wrote {}", path.display());
+    }
+}

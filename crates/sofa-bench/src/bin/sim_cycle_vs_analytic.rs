@@ -1,7 +1,20 @@
 //! Prints the analytic-vs-cycle-level comparison and the per-stage
-//! busy/stall breakdown of the event-driven simulator (`sofa-sim`).
+//! busy/stall breakdown of the event-driven simulator (`sofa-sim`), and
+//! optionally writes them as a JSON artifact (`--json <path>`) for the CI
+//! bench-smoke job.
+
+use sofa_bench::report::write_json_artifact_from_args;
+
 fn main() {
-    sofa_bench::experiments::sim_cycle_vs_analytic().print();
-    println!();
-    sofa_bench::experiments::sim_stall_breakdown().print();
+    let tables = [
+        sofa_bench::experiments::sim_cycle_vs_analytic(),
+        sofa_bench::experiments::sim_stall_breakdown(),
+    ];
+    for t in &tables {
+        t.print();
+        println!();
+    }
+    if let Some(path) = write_json_artifact_from_args(&tables) {
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -25,8 +25,10 @@ use sofa_model::config::ModelConfig;
 use sofa_model::distribution::measure_mixture;
 use sofa_model::profile::{normalized_oi, ComputeBreakdown, LayerProfile, MemoryFootprint};
 use sofa_model::suite::benchmark_suite;
+use sofa_model::trace::{RequestTrace, TraceConfig};
 use sofa_model::workload::{AttentionWorkload, ScoreWorkload};
 use sofa_model::ScoreDistribution;
+use sofa_serve::{ServeConfig, ServeSim};
 use sofa_sim::CycleSim;
 use sofa_tensor::seeded_rng;
 
@@ -720,7 +722,9 @@ pub fn table4_power() -> Table {
 /// The task grid the cycle-vs-analytic experiment sweeps: a compute-bound
 /// block (moderate parallelism, high keep ratios) and a memory-bound block
 /// (high token parallelism, aggressive pruning → KV streaming dominates).
-fn cycle_sim_tasks() -> Vec<AttentionTask> {
+/// Public because the CI regression gate (`check_regression`) re-checks the
+/// same grid against a hard tolerance.
+pub fn cycle_sim_tasks() -> Vec<AttentionTask> {
     let mut tasks = Vec::new();
     for (t, s, keep, bc) in [
         // Compute-bound: the analytic and cycle-level models must agree.
@@ -825,6 +829,101 @@ pub fn sim_stall_breakdown() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Serving experiments (sofa-serve over multi-instance simulation)
+// ---------------------------------------------------------------------------
+
+/// The serving workload the scheduling experiments share: a Llama-like layer
+/// shape with 70 % decode traffic, sized so a full sweep runs in seconds.
+fn serve_trace(num_requests: usize, arrivals_per_mcycle: f64, seed: u64) -> RequestTrace {
+    let mut tc = TraceConfig::new(num_requests, arrivals_per_mcycle, seed);
+    tc.seq_len = 1024;
+    tc.hidden = 1024;
+    tc.heads = 8;
+    tc.prefill_queries = 32;
+    tc.keep_ratio = 0.25;
+    RequestTrace::generate(&tc)
+}
+
+/// The serving configuration of the experiments: paper-default instances,
+/// tile size 32, measured (sparsity-aware) admission footprints.
+fn serve_config(instances: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(HwConfig::paper_default(), instances);
+    cfg.tile_size = 32;
+    cfg
+}
+
+/// Experiment — request latency percentiles, queueing delay and per-instance
+/// utilization of the continuous-batching scheduler across instance counts
+/// and offered loads.
+pub fn serve_throughput_latency() -> Table {
+    let mut t = Table::new(
+        "Serve  Continuous batching: latency percentiles vs instances and load",
+        &[
+            "instances",
+            "req/Mcyc offered",
+            "p50 kcyc",
+            "p95 kcyc",
+            "p99 kcyc",
+            "queue kcyc",
+            "util per inst",
+            "req/Mcyc served",
+        ],
+    );
+    for instances in [1usize, 2, 4] {
+        for rate in [50.0f64, 200.0] {
+            let trace = serve_trace(40, rate, 17);
+            let report = ServeSim::new(serve_config(instances)).run(&trace);
+            let utils: Vec<String> = (0..instances)
+                .map(|i| format!("{:.0}%", 100.0 * report.instance_utilization(i)))
+                .collect();
+            t.push([
+                instances.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.1}", report.p50() as f64 / 1e3),
+                format!("{:.1}", report.p95() as f64 / 1e3),
+                format!("{:.1}", report.p99() as f64 / 1e3),
+                format!("{:.1}", report.mean_queueing_delay() / 1e3),
+                utils.join("/"),
+                format!("{:.1}", report.throughput_per_mcycle()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Experiment — strong scaling of one saturating request stream over 1–4
+/// instances sharing the DRAM channel.
+pub fn serve_scaling() -> Table {
+    let mut t = Table::new(
+        "Serve  Strong scaling under a saturating stream (shared DRAM)",
+        &[
+            "instances",
+            "makespan kcyc",
+            "speedup",
+            "p95 kcyc",
+            "mean util",
+            "dram util",
+        ],
+    );
+    let trace = serve_trace(48, 400.0, 23);
+    let mut base = None;
+    for instances in [1usize, 2, 3, 4] {
+        let report = ServeSim::new(serve_config(instances)).run(&trace);
+        let makespan = report.total_cycles as f64;
+        let base = *base.get_or_insert(makespan);
+        t.push([
+            instances.to_string(),
+            format!("{:.1}", makespan / 1e3),
+            times(base / makespan),
+            format!("{:.1}", report.p95() as f64 / 1e3),
+            pct(report.mean_utilization()),
+            pct(report.multi.dram.utilization(report.total_cycles)),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +1005,48 @@ mod tests {
         let b = sim_stall_breakdown();
         assert_eq!(b.rows.len(), 8, "two configs x four stages");
         assert!(!b.render().is_empty());
+    }
+
+    #[test]
+    fn serve_latency_percentiles_are_ordered_and_cover_two_instance_counts() {
+        let t = serve_throughput_latency();
+        assert_eq!(t.rows.len(), 6, "three instance counts x two loads");
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let mut counts = std::collections::HashSet::new();
+        for r in &t.rows {
+            counts.insert(r[0].clone());
+            let (p50, p95, p99) = (parse(&r[2]), parse(&r[3]), parse(&r[4]));
+            assert!(p50 <= p95 && p95 <= p99, "percentiles out of order: {r:?}");
+            assert!(
+                r[6].matches('%').count() == r[0].parse::<usize>().unwrap(),
+                "one utilization figure per instance: {r:?}"
+            );
+        }
+        assert!(counts.len() >= 2, "at least two instance counts");
+    }
+
+    #[test]
+    fn serve_scaling_improves_until_the_dram_roofline() {
+        let t = serve_scaling();
+        assert_eq!(t.rows.len(), 4);
+        let parse_x = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        assert_eq!(parse_x(&t.rows[0][2]), 1.0);
+        // Every multi-instance configuration beats the single instance, and
+        // the best one by a clear margin — scaling then flattens because the
+        // shared DRAM channel saturates, which the dram-util column shows.
+        let speedups: Vec<f64> = t.rows.iter().map(|r| parse_x(&r[2])).collect();
+        assert!(
+            speedups[1..].iter().all(|&s| s > 1.05),
+            "adding instances must help: {speedups:?}"
+        );
+        let best = speedups.iter().cloned().fold(0.0, f64::max);
+        assert!(best > 1.15, "best speedup too small: {best}");
+        let dram_util =
+            |row: &[String]| -> f64 { row[5].trim_end_matches('%').parse::<f64>().unwrap() };
+        assert!(
+            dram_util(&t.rows[3]) > dram_util(&t.rows[0]),
+            "the shared channel must be busier with more instances"
+        );
     }
 
     #[test]

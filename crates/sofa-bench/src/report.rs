@@ -77,6 +77,89 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Serialises the table as a JSON object
+    /// (`{"title": …, "headers": […], "rows": [[…], …]}`) — the machine-
+    /// readable artifact format the CI bench-smoke job uploads per PR.
+    pub fn to_json(&self) -> String {
+        let row_json = |cells: &[String]| {
+            format!(
+                "[{}]",
+                cells
+                    .iter()
+                    .map(|c| json_string(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        format!(
+            "{{\"title\":{},\"headers\":{},\"rows\":[{}]}}",
+            json_string(&self.title),
+            row_json(&self.headers),
+            self.rows
+                .iter()
+                .map(|r| row_json(r))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialises several tables as one JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    format!(
+        "[{}]",
+        tables
+            .iter()
+            .map(|t| t.to_json())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// If the process arguments contain `--json <path>`, writes `tables` there
+/// (creating parent directories) and returns the path. Every experiment
+/// binary calls this after printing, so CI can collect artifacts without
+/// parsing stdout.
+///
+/// # Panics
+///
+/// Panics if `--json` is given without a path or the file cannot be written.
+pub fn write_json_artifact_from_args(tables: &[Table]) -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path =
+                std::path::PathBuf::from(args.next().expect("--json requires an output path"));
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create artifact directory");
+                }
+            }
+            std::fs::write(&path, tables_to_json(tables)).expect("write JSON artifact");
+            return Some(path);
+        }
+    }
+    None
 }
 
 /// Formats a float with 3 significant decimals.
@@ -122,5 +205,20 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(pct(0.5), "50.0%");
         assert_eq!(times(9.5), "9.50x");
+    }
+
+    #[test]
+    fn json_round_trips_structure_and_escapes() {
+        let mut t = Table::new("Latency \"p99\"", &["a", "b"]);
+        t.push(["x\n", "1"]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"Latency \\\"p99\\\"\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"x\\n\",\"1\"]]}"
+        );
+        let arr = tables_to_json(&[t.clone(), t]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"headers\"").count(), 2);
     }
 }

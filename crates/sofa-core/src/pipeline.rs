@@ -199,6 +199,19 @@ impl SofaPipeline {
         &self.cfg
     }
 
+    /// Runs the pipeline on a batch of workloads — one serving request each —
+    /// returning one result per request in input order. This is the batched
+    /// entry point for turning a set of admitted requests into per-request
+    /// selection masks; from those,
+    /// [`PipelineResult::tile_selection_stats`] and
+    /// `sofa_hw::SofaAccelerator::request_descriptors` produce per-request
+    /// tile descriptor streams for multi-instance cycle simulation. (The
+    /// `sofa-serve` experiments lower requests from expected-value
+    /// statistics instead, trading mask fidelity for sweep speed.)
+    pub fn run_batch(&self, workloads: &[AttentionWorkload]) -> Vec<PipelineResult> {
+        workloads.iter().map(|w| self.run(w)).collect()
+    }
+
     /// Runs the full pipeline on one workload.
     pub fn run(&self, w: &AttentionWorkload) -> PipelineResult {
         let s = w.seq_len();
@@ -361,6 +374,25 @@ mod tests {
         let dense = w.dense_output();
         let cos = mean_row_cosine(&result.output, &dense);
         assert!(cos > 0.9, "sparse output should track dense output: {cos}");
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let workloads = [
+            workload(),
+            AttentionWorkload::generate(&ScoreDistribution::gpt_like(), 4, 64, 32, 16, 99),
+        ];
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let batch = pipeline.run_batch(&workloads);
+        assert_eq!(batch.len(), 2);
+        for (r, w) in batch.iter().zip(workloads.iter()) {
+            let solo = pipeline.run(w);
+            assert_eq!(r.output, solo.output, "batch entry must equal solo run");
+            assert_eq!(r.mask, solo.mask);
+        }
+        // Each entry exports its own per-tile selection stats.
+        let stats = batch[1].tile_selection_stats(16);
+        assert_eq!(stats.num_tiles(), 64 / 16);
     }
 
     #[test]

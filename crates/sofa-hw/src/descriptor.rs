@@ -182,6 +182,37 @@ impl SofaAccelerator {
     }
 }
 
+impl SofaAccelerator {
+    /// Lowers a batch of serving requests into per-request tile-descriptor
+    /// streams: one `Vec<TileWork>` per task, in input order, each optionally
+    /// driven by that request's real selection statistics. Keeping requests
+    /// separate (instead of fusing them into one task) is what lets a
+    /// serving layer attribute DRAM traffic and latency back to individual
+    /// requests — `tests/integration_serve.rs` uses this export as the
+    /// independent reference for the shared-channel conservation check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is non-empty and its length differs from `tasks`,
+    /// or if any stats entry disagrees with its task (see
+    /// [`SofaAccelerator::tile_descriptors`]).
+    pub fn request_descriptors(
+        &self,
+        tasks: &[AttentionTask],
+        stats: &[Option<&TileSelectionStats>],
+    ) -> Vec<Vec<TileWork>> {
+        assert!(
+            stats.is_empty() || stats.len() == tasks.len(),
+            "one stats entry per task (or none at all)"
+        );
+        tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| self.tile_descriptors(task, stats.get(i).copied().flatten()))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +306,37 @@ mod tests {
         assert!(d[0].sufa.macs > 0);
         assert!(d[1..].iter().all(|w| w.sufa.macs == 0));
         assert!(d[1..].iter().all(|w| w.kv_read_bytes == 0));
+    }
+
+    #[test]
+    fn request_descriptors_keep_requests_separate() {
+        let accel = SofaAccelerator::new(HwConfig::small());
+        let tasks = [
+            task(),
+            AttentionTask::new(2, 64, 128, 2, 0.5, 32), // decode-sized request
+        ];
+        let streams = accel.request_descriptors(&tasks, &[]);
+        assert_eq!(streams.len(), 2);
+        for (stream, t) in streams.iter().zip(tasks.iter()) {
+            assert_eq!(stream.len(), t.seq_len.div_ceil(t.tile_size));
+            let solo = accel.tile_descriptors(t, None);
+            assert_eq!(*stream, solo, "batch export must equal solo export");
+        }
+        // Real stats steer only the request they belong to.
+        use sofa_core::topk::TopKMask;
+        let mask = TopKMask::new(64, vec![vec![0, 1]; 2]);
+        let stats = TileSelectionStats::from_mask(&mask, 32);
+        let steered = accel.request_descriptors(&tasks, &[None, Some(&stats)]);
+        assert_eq!(steered[0], streams[0]);
+        assert_ne!(steered[1], streams[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stats entry per task")]
+    fn mismatched_stats_arity_panics() {
+        let accel = SofaAccelerator::new(HwConfig::small());
+        let tasks = [task(), task()];
+        let _ = accel.request_descriptors(&tasks, &[None]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`workload`] — generation of concrete Q/K/V/token matrices with a
 //!   controlled score distribution, used by the algorithm and hardware crates.
 //! * [`suite`] — the 20-benchmark evaluation suite (model × task pairs).
+//! * [`trace`] — serving request streams: mixed prefill/decode requests with
+//!   Poisson-ish arrivals, deterministically generated for the scheduling
+//!   experiments.
 //!
 //! # Example
 //!
@@ -31,9 +34,11 @@ pub mod config;
 pub mod distribution;
 pub mod profile;
 pub mod suite;
+pub mod trace;
 pub mod workload;
 
 pub use config::{ModelConfig, ModelFamily};
 pub use distribution::{DistributionType, ScoreDistribution};
 pub use suite::{benchmark_suite, Benchmark};
+pub use trace::{RequestClass, RequestSpec, RequestTrace, TraceConfig};
 pub use workload::{AttentionWorkload, ScoreWorkload};

@@ -1,0 +1,310 @@
+//! Serving request traces: who asks for attention, and when.
+//!
+//! The paper evaluates SOFA one attention task at a time; a serving system
+//! instead sees a *stream* of requests — long prefill bursts that attend over
+//! the whole context with many parallel queries, and short decode steps with
+//! a handful of queries each — arriving at Poisson-ish random times. This
+//! module generates such streams deterministically (shim-RNG seeded, so two
+//! runs of an experiment see the same trace): [`TraceConfig`] describes the
+//! mix and the arrival process, [`RequestTrace::generate`] materialises the
+//! [`RequestSpec`]s a scheduler (the `sofa-serve` crate) admits onto
+//! simulated accelerator instances.
+//!
+//! Request shapes can be taken from the paper's benchmark suite via
+//! [`TraceConfig::from_benchmark`], inheriting the model's hidden width,
+//! head count, sequence length and task-dependent keep ratio.
+
+use crate::suite::Benchmark;
+use rand::Rng;
+use sofa_tensor::seeded_rng;
+
+/// The two request kinds of autoregressive serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Prompt processing: many queries attend over the full context at once.
+    Prefill,
+    /// Token generation: few queries (typically one batch entry's worth).
+    Decode,
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestClass::Prefill => write!(f, "prefill"),
+            RequestClass::Decode => write!(f, "decode"),
+        }
+    }
+}
+
+/// One attention request of a serving trace. Carries every shape parameter a
+/// hardware model needs to lower it into an attention task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSpec {
+    /// Trace-unique identifier (dense, in arrival order).
+    pub id: u64,
+    /// Arrival time in accelerator cycles.
+    pub arrival_cycle: u64,
+    /// Prefill or decode.
+    pub class: RequestClass,
+    /// Token parallelism `T` of the request.
+    pub queries: usize,
+    /// Context length `S` the request attends over.
+    pub seq_len: usize,
+    /// Total hidden width `H`.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Fraction of keys the top-k stage keeps.
+    pub keep_ratio: f64,
+}
+
+/// Parameters of a synthetic serving trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub num_requests: usize,
+    /// Mean arrival rate in requests per million cycles (Poisson process:
+    /// exponential inter-arrival gaps).
+    pub arrivals_per_mcycle: f64,
+    /// Fraction of requests that are decode steps (the rest are prefills).
+    pub decode_fraction: f64,
+    /// Query count of a prefill request.
+    pub prefill_queries: usize,
+    /// Maximum query count of a decode request (sampled in `1..=max`).
+    pub max_decode_queries: usize,
+    /// Context length of every request.
+    pub seq_len: usize,
+    /// Hidden width of the served model.
+    pub hidden: usize,
+    /// Attention heads of the served model.
+    pub heads: usize,
+    /// Top-k keep ratio applied to every request.
+    pub keep_ratio: f64,
+    /// RNG seed; the trace is a pure function of this configuration.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A small default mix: a 1024-token context on an 8-head, 1024-wide
+    /// model, 70 % decode traffic.
+    pub fn new(num_requests: usize, arrivals_per_mcycle: f64, seed: u64) -> Self {
+        TraceConfig {
+            num_requests,
+            arrivals_per_mcycle,
+            decode_fraction: 0.7,
+            prefill_queries: 64,
+            max_decode_queries: 4,
+            seq_len: 1024,
+            hidden: 1024,
+            heads: 8,
+            keep_ratio: 0.25,
+            seed,
+        }
+    }
+
+    /// Derives the request shape from one of the paper's benchmarks: model
+    /// width/heads/sequence length, and the keep ratio the benchmark
+    /// tolerates at `loss_budget` accuracy loss.
+    pub fn from_benchmark(
+        bench: &Benchmark,
+        loss_budget: f64,
+        num_requests: usize,
+        arrivals_per_mcycle: f64,
+        seed: u64,
+    ) -> Self {
+        let mut cfg = Self::new(num_requests, arrivals_per_mcycle, seed);
+        cfg.seq_len = bench.model.seq_len;
+        cfg.hidden = bench.model.hidden;
+        cfg.heads = bench.model.heads;
+        cfg.keep_ratio = bench.keep_ratio(loss_budget);
+        cfg.prefill_queries = (bench.model.seq_len / 8).clamp(16, 128);
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_requests == 0 {
+            return Err("num_requests must be positive".into());
+        }
+        if self.arrivals_per_mcycle <= 0.0 || self.arrivals_per_mcycle.is_nan() {
+            return Err("arrivals_per_mcycle must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.decode_fraction) {
+            return Err("decode_fraction must be in [0, 1]".into());
+        }
+        if self.prefill_queries == 0 || self.max_decode_queries == 0 {
+            return Err("query counts must be positive".into());
+        }
+        if self.seq_len == 0 || self.hidden == 0 || self.heads == 0 {
+            return Err("model shape must be positive".into());
+        }
+        if !(self.keep_ratio > 0.0 && self.keep_ratio <= 1.0) {
+            return Err("keep_ratio must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A generated request stream, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// The configuration the trace was generated from.
+    pub config: TraceConfig,
+    /// The requests, sorted by (and identified in) arrival order.
+    pub requests: Vec<RequestSpec>,
+}
+
+impl RequestTrace {
+    /// Generates the trace described by `cfg`. Deterministic: the same
+    /// configuration always yields the same trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`TraceConfig::validate`].
+    pub fn generate(cfg: &TraceConfig) -> Self {
+        cfg.validate().expect("invalid trace config");
+        let mut rng = seeded_rng(cfg.seed);
+        let mean_gap = 1.0e6 / cfg.arrivals_per_mcycle;
+        let mut clock = 0.0f64;
+        let requests = (0..cfg.num_requests as u64)
+            .map(|id| {
+                // Exponential inter-arrival gap (inverse-CDF of Exp(1/gap)).
+                let u: f64 = rng.gen();
+                clock += -(1.0 - u).ln() * mean_gap;
+                let class = if rng.gen_bool(cfg.decode_fraction) {
+                    RequestClass::Decode
+                } else {
+                    RequestClass::Prefill
+                };
+                let queries = match class {
+                    RequestClass::Prefill => cfg.prefill_queries,
+                    RequestClass::Decode => rng.gen_range(1..=cfg.max_decode_queries),
+                };
+                RequestSpec {
+                    id,
+                    arrival_cycle: clock.round() as u64,
+                    class,
+                    queries,
+                    seq_len: cfg.seq_len,
+                    hidden: cfg.hidden,
+                    heads: cfg.heads,
+                    keep_ratio: cfg.keep_ratio,
+                }
+            })
+            .collect();
+        RequestTrace {
+            config: cfg.clone(),
+            requests,
+        }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Arrival time of the last request (the offered-load horizon).
+    pub fn span_cycles(&self) -> u64 {
+        self.requests.last().map(|r| r.arrival_cycle).unwrap_or(0)
+    }
+
+    /// Fraction of requests that are decode steps.
+    pub fn decode_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let decodes = self
+            .requests
+            .iter()
+            .filter(|r| r.class == RequestClass::Decode)
+            .count();
+        decodes as f64 / self.requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::benchmark_suite;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = TraceConfig::new(64, 50.0, 42);
+        let a = RequestTrace::generate(&cfg);
+        let b = RequestTrace::generate(&cfg);
+        assert_eq!(a, b);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 43;
+        assert_ne!(a, RequestTrace::generate(&cfg2));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_dense() {
+        let trace = RequestTrace::generate(&TraceConfig::new(100, 20.0, 7));
+        assert_eq!(trace.len(), 100);
+        for (i, r) in trace.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_cycle <= w[1].arrival_cycle));
+    }
+
+    #[test]
+    fn rate_controls_the_span() {
+        let slow = RequestTrace::generate(&TraceConfig::new(200, 5.0, 1));
+        let fast = RequestTrace::generate(&TraceConfig::new(200, 500.0, 1));
+        assert!(
+            slow.span_cycles() > 10 * fast.span_cycles(),
+            "a 100x rate difference must compress arrivals: {} vs {}",
+            slow.span_cycles(),
+            fast.span_cycles()
+        );
+    }
+
+    #[test]
+    fn class_mix_tracks_the_configured_fraction() {
+        let mut cfg = TraceConfig::new(400, 50.0, 11);
+        cfg.decode_fraction = 0.7;
+        let trace = RequestTrace::generate(&cfg);
+        let f = trace.decode_fraction();
+        assert!((0.6..0.8).contains(&f), "decode fraction {f}");
+        for r in &trace.requests {
+            match r.class {
+                RequestClass::Prefill => assert_eq!(r.queries, cfg.prefill_queries),
+                RequestClass::Decode => {
+                    assert!((1..=cfg.max_decode_queries).contains(&r.queries))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_shapes_flow_into_the_trace() {
+        let suite = benchmark_suite();
+        let bert = suite.iter().find(|b| b.name == "BERT-B/SQuAD").unwrap();
+        let cfg = TraceConfig::from_benchmark(bert, 0.01, 10, 25.0, 3);
+        assert_eq!(cfg.seq_len, 384);
+        assert_eq!(cfg.hidden, bert.model.hidden);
+        assert_eq!(cfg.heads, bert.model.heads);
+        assert!((cfg.keep_ratio - bert.keep_ratio(0.01)).abs() < 1e-12);
+        let trace = RequestTrace::generate(&cfg);
+        assert!(trace.requests.iter().all(|r| r.seq_len == 384));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trace config")]
+    fn zero_rate_panics() {
+        let _ = RequestTrace::generate(&TraceConfig::new(4, 0.0, 0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Request-level serving on top of the SOFA cycle-level simulation.
+//!
+//! The paper evaluates one attention task at a time; this crate opens the
+//! serving-workload scenario: a stream of mixed prefill/decode requests
+//! (`sofa_model::trace`) is multiplexed onto one or more simulated SOFA
+//! instances that share a DRAM channel (`sofa_sim::multi`), under a
+//! continuous-batching admission scheduler.
+//!
+//! * [`scheduler`] — [`ServeSim`]: lowers requests to per-request tile
+//!   streams, admits them against a per-instance buffer budget (with
+//!   optional Tailors-style overbooking of the sparsity-reduced footprint),
+//!   balances load across instances, and ages waiting requests so none
+//!   starves.
+//! * [`report`] — [`ServeReport`]: per-request latency percentiles
+//!   (p50/p95/p99), queueing delay, per-instance utilization, DRAM-sharing
+//!   statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use sofa_hw::config::HwConfig;
+//! use sofa_model::trace::{RequestTrace, TraceConfig};
+//! use sofa_serve::{ServeConfig, ServeSim};
+//!
+//! let mut tc = TraceConfig::new(8, 50.0, 42);
+//! tc.seq_len = 256;
+//! tc.hidden = 256;
+//! tc.heads = 4;
+//! tc.prefill_queries = 8;
+//! let trace = RequestTrace::generate(&tc);
+//! let report = ServeSim::new(ServeConfig::new(HwConfig::small(), 2)).run(&trace);
+//! assert_eq!(report.records.len(), 8);
+//! assert!(report.p99() >= report.p50());
+//! ```
+
+pub mod report;
+pub mod scheduler;
+
+pub use report::{RequestRecord, ServeReport};
+pub use scheduler::{AdmitPolicy, ServeConfig, ServeSim};

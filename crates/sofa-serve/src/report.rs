@@ -1,0 +1,243 @@
+//! Per-request serving outcomes and their aggregation.
+
+use sofa_model::trace::RequestClass;
+use sofa_sim::MultiReport;
+
+/// The lifecycle timestamps of one served request (all in cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Trace id of the request.
+    pub id: u64,
+    /// Prefill or decode.
+    pub class: RequestClass,
+    /// Instance the request was placed on.
+    pub instance: usize,
+    /// When the request arrived at the scheduler.
+    pub arrival: u64,
+    /// When admission control placed it on its instance.
+    pub admitted: u64,
+    /// When its formal-compute stage produced the last output tile.
+    pub completed: u64,
+    /// Buffer bytes admission control accounted for the request.
+    pub footprint_bytes: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: arrival to completion.
+    pub fn latency(&self) -> u64 {
+        self.completed - self.arrival
+    }
+
+    /// Queueing delay: arrival to admission.
+    pub fn queueing_delay(&self) -> u64 {
+        self.admitted - self.arrival
+    }
+
+    /// Service time: admission to completion.
+    pub fn service_time(&self) -> u64 {
+        self.completed - self.admitted
+    }
+}
+
+/// The outcome of serving one request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-request lifecycle records, in trace order.
+    pub records: Vec<RequestRecord>,
+    /// The underlying multi-instance simulation accounting (per-instance
+    /// stage activity, shared-DRAM statistics).
+    pub multi: MultiReport,
+    /// End-to-end makespan in cycles (first arrival to last event).
+    pub total_cycles: u64,
+    /// The effective per-instance admission budget in bytes
+    /// (`admit_buffer_bytes × overbook`).
+    pub budget_bytes: u64,
+    /// Highest concurrently-admitted footprint observed per instance.
+    pub peak_inflight_bytes: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Latency at percentile `p` (nearest-rank over all requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]` or the report is empty.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range");
+        assert!(!self.records.is_empty(), "no requests were served");
+        let mut lat: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile (tail) latency.
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean cycles requests waited for admission.
+    pub fn mean_queueing_delay(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.records.iter().map(|r| r.queueing_delay()).sum();
+        total as f64 / self.records.len() as f64
+    }
+
+    /// Completed requests per million cycles.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 * 1.0e6 / self.total_cycles as f64
+    }
+
+    /// Bottleneck-stage busy fraction of instance `i` over the makespan.
+    pub fn instance_utilization(&self, i: usize) -> f64 {
+        self.multi.instances[i].utilization(self.total_cycles)
+    }
+
+    /// Mean utilization across instances.
+    pub fn mean_utilization(&self) -> f64 {
+        let n = self.multi.instances.len();
+        (0..n).map(|i| self.instance_utilization(i)).sum::<f64>() / n as f64
+    }
+
+    /// Requests that ran on instance `i`.
+    pub fn requests_on(&self, i: usize) -> usize {
+        self.records.iter().filter(|r| r.instance == i).count()
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests {}  makespan {} cyc  throughput {:.2} req/Mcyc\n",
+            self.records.len(),
+            self.total_cycles,
+            self.throughput_per_mcycle(),
+        ));
+        out.push_str(&format!(
+            "latency p50 {}  p95 {}  p99 {}  mean queueing {:.0} cyc\n",
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.mean_queueing_delay(),
+        ));
+        for (i, act) in self.multi.instances.iter().enumerate() {
+            out.push_str(&format!(
+                "instance {i}: {} requests  util {:>5.1}%  peak buffer {}/{} B\n",
+                act.requests,
+                100.0 * self.instance_utilization(i),
+                self.peak_inflight_bytes[i],
+                self.budget_bytes,
+            ));
+        }
+        out.push_str(&format!(
+            "dram: {:.1} MB moved, {:.1}% busy, mean queue wait {:.0} cyc, {} aged issues\n",
+            self.multi.dram.total_bytes() as f64 / 1e6,
+            100.0 * self.multi.dram.utilization(self.total_cycles),
+            self.multi.dram_mean_queue_wait,
+            self.multi.dram_aged_issues,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_sim::{DramActivity, InstanceActivity, StageActivity};
+
+    fn record(id: u64, arrival: u64, admitted: u64, completed: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            class: RequestClass::Decode,
+            instance: 0,
+            arrival,
+            admitted,
+            completed,
+            footprint_bytes: 100,
+        }
+    }
+
+    fn report(records: Vec<RequestRecord>) -> ServeReport {
+        let n = records.len();
+        ServeReport {
+            records,
+            multi: MultiReport {
+                total_cycles: 1000,
+                instances: vec![InstanceActivity {
+                    stages: [StageActivity {
+                        busy: 500,
+                        ..Default::default()
+                    }; 4],
+                    tiles: 4 * n,
+                    requests: n,
+                    buffer_occupancy: [0.0; 3],
+                }],
+                dram: DramActivity {
+                    bytes_read: 1_000_000,
+                    bytes_written: 100_000,
+                    busy_cycles: 400,
+                },
+                dram_aged_issues: 0,
+                dram_mean_queue_wait: 0.0,
+            },
+            total_cycles: 1000,
+            budget_bytes: 1000,
+            peak_inflight_bytes: vec![300],
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // Latencies 10, 20, ..., 100.
+        let records = (0..10).map(|i| record(i, 0, 0, (i + 1) * 10)).collect();
+        let r = report(records);
+        assert_eq!(r.p50(), 50);
+        assert_eq!(r.p95(), 100);
+        assert_eq!(r.p99(), 100);
+        assert_eq!(r.latency_percentile(10.0), 10);
+        assert_eq!(r.latency_percentile(100.0), 100);
+    }
+
+    #[test]
+    fn delays_and_throughput() {
+        let r = report(vec![record(0, 0, 40, 100), record(1, 10, 20, 60)]);
+        assert!((r.mean_queueing_delay() - 25.0).abs() < 1e-12);
+        assert_eq!(r.records[0].service_time(), 60);
+        assert_eq!(r.records[1].latency(), 50);
+        assert!((r.throughput_per_mcycle() - 2000.0).abs() < 1e-9);
+        assert!((r.instance_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((r.mean_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(r.requests_on(0), 2);
+    }
+
+    #[test]
+    fn summary_mentions_the_key_numbers() {
+        let r = report(vec![record(0, 0, 0, 100)]);
+        let s = r.summary();
+        assert!(s.contains("p50"));
+        assert!(s.contains("instance 0"));
+        assert!(s.contains("dram"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn zero_percentile_panics() {
+        let r = report(vec![record(0, 0, 0, 1)]);
+        let _ = r.latency_percentile(0.0);
+    }
+}

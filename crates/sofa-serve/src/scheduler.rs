@@ -1,0 +1,495 @@
+//! The continuous-batching admission scheduler.
+//!
+//! [`ServeSim`] multiplexes a [`RequestTrace`] onto `N` simulated SOFA
+//! instances. Requests are lowered once into [`PipelineJob`]s; admission then
+//! interleaves with the cycle-level simulation — a request admitted at cycle
+//! `t` has its tiles enter the instance's stream at `t`, and the completion
+//! events the simulation produces feed the next admission decision. This is
+//! continuous batching at tile granularity: an instance never drains between
+//! requests, new tiles enter right behind the previous request's.
+//!
+//! Admission is buffer-budgeted. Classic worst-case sizing reserves, per
+//! admitted request, the SRAM a *dense* request would pin — but after the
+//! prediction stage, top-k sparsity means the real resident footprint is a
+//! fraction of that. With [`ServeConfig::predicted_footprint`] the scheduler
+//! books the measured (sparsity-aware) footprint instead, and
+//! [`ServeConfig::overbook`] further relaxes the budget — the
+//! buffer-overbooking idea Tailors applies to sparse workloads. Requests are
+//! picked smallest-footprint-first (best packing) unless one has waited past
+//! [`ServeConfig::aging_threshold`], in which case the oldest starved
+//! request is served first.
+
+use crate::report::{RequestRecord, ServeReport};
+use sofa_hw::accel::AttentionTask;
+use sofa_hw::config::HwConfig;
+use sofa_model::trace::{RequestClass, RequestTrace};
+use sofa_sim::{CycleSim, MultiPipelineSim, PipelineJob, SimParams};
+
+/// How the scheduler picks the next waiting request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Strict arrival order.
+    Fifo,
+    /// Smallest buffer footprint first (best packing under the budget);
+    /// priority aging still bounds the wait of large requests.
+    SmallestFirst,
+}
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Hardware configuration of every instance.
+    pub hw: HwConfig,
+    /// Microarchitectural simulation parameters (shared by all instances).
+    pub sim: SimParams,
+    /// Number of accelerator instances.
+    pub instances: usize,
+    /// Cross-stage tile size requests are lowered with.
+    pub tile_size: usize,
+    /// Per-instance admission budget in bytes (defaults to the token SRAM).
+    pub admit_buffer_bytes: u64,
+    /// Budget relaxation factor (≥ 1): `budget = admit_buffer_bytes ×
+    /// overbook`. Overbooking banks on sparsity keeping real occupancy
+    /// below the accounted footprints.
+    pub overbook: f64,
+    /// Account the measured sparse footprint (`true`, Tailors-style) or the
+    /// worst-case dense footprint (`false`, classic sizing) per request.
+    pub predicted_footprint: bool,
+    /// Waiting cycles beyond which a request overrides the admission policy
+    /// (starvation bound for `SmallestFirst`).
+    pub aging_threshold: u64,
+    /// Pick order among waiting requests.
+    pub policy: AdmitPolicy,
+}
+
+impl ServeConfig {
+    /// A serving setup of `instances` copies of `hw` with the defaults:
+    /// smallest-first admission on measured footprints, no overbooking,
+    /// aging after 100k cycles, DRAM priority aging after 4 burst latencies.
+    pub fn new(hw: HwConfig, instances: usize) -> Self {
+        let mut sim = SimParams::default();
+        sim.dram_age_threshold = 4 * sim.burst_latency;
+        ServeConfig {
+            hw,
+            sim,
+            instances,
+            tile_size: 32,
+            admit_buffer_bytes: hw.token_sram_bytes as u64,
+            overbook: 1.0,
+            predicted_footprint: true,
+            aging_threshold: 100_000,
+            policy: AdmitPolicy::SmallestFirst,
+        }
+    }
+
+    /// The effective per-instance budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        (self.admit_buffer_bytes as f64 * self.overbook).round() as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instances == 0 {
+            return Err("instances must be positive".into());
+        }
+        if self.tile_size == 0 {
+            return Err("tile_size must be positive".into());
+        }
+        if self.admit_buffer_bytes == 0 {
+            return Err("admit_buffer_bytes must be positive".into());
+        }
+        if self.overbook < 1.0 || self.overbook.is_nan() {
+            return Err("overbook must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One request lowered and waiting for (or past) admission.
+#[derive(Debug)]
+struct Lowered {
+    class: RequestClass,
+    arrival: u64,
+    job: PipelineJob,
+    /// Bytes admission control books for the request.
+    footprint: u64,
+}
+
+/// The continuous-batching serving simulator.
+#[derive(Debug)]
+pub struct ServeSim {
+    cfg: ServeConfig,
+}
+
+impl ServeSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ServeConfig::validate`].
+    pub fn new(cfg: ServeConfig) -> Self {
+        cfg.validate().expect("invalid serve config");
+        ServeSim { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Lowers one request of `trace` into its pipeline job and admission
+    /// footprint.
+    ///
+    /// The footprint is the state an instance pins for the whole life of an
+    /// in-flight request (tiles merely stream through the ping-pong banks;
+    /// the per-request state is what limits concurrent admission): the query
+    /// block and the output accumulator (`T×H` 16-bit values each) plus
+    /// per-selected-key metadata — index and predicted score, 4 B per kept
+    /// Q-K pair. Worst-case sizing must budget for a dense selection (every
+    /// key kept); the *measured* footprint books only the `T×k` pairs the
+    /// prediction stage actually keeps — the capacity overbooking reclaims.
+    fn lower(&self, csim: &CycleSim, spec: &sofa_model::trace::RequestSpec) -> Lowered {
+        let task = AttentionTask::new(
+            spec.queries,
+            spec.seq_len,
+            spec.hidden,
+            spec.heads,
+            spec.keep_ratio,
+            self.cfg.tile_size,
+        );
+        let job = csim.job(&task, None);
+        let t = spec.queries as u64;
+        let h = spec.hidden as u64;
+        let kept_pairs = if self.cfg.predicted_footprint {
+            task.k() as u64
+        } else {
+            spec.seq_len as u64
+        };
+        Lowered {
+            class: spec.class,
+            arrival: spec.arrival_cycle,
+            job,
+            footprint: t * h * 2 + t * h * 2 + t * kept_pairs * 4,
+        }
+    }
+
+    /// Serves `trace` to completion and reports per-request latencies,
+    /// queueing delays and per-instance utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn run(&self, trace: &RequestTrace) -> ServeReport {
+        assert!(!trace.is_empty(), "cannot serve an empty trace");
+        let mut csim = CycleSim::new(self.cfg.hw);
+        csim.params = self.cfg.sim;
+        let lowered: Vec<Lowered> = trace
+            .requests
+            .iter()
+            .map(|spec| self.lower(&csim, spec))
+            .collect();
+
+        let n = self.cfg.instances;
+        let mut msim = MultiPipelineSim::new(&self.cfg.hw, n, self.cfg.sim);
+        let mut state = AdmissionState::new(n, lowered.len());
+        let mut next_arrival = 0usize;
+
+        loop {
+            let event = msim.next_event_time();
+            let arrival = (next_arrival < lowered.len()).then(|| lowered[next_arrival].arrival);
+            // Completions at the same cycle free capacity before the
+            // admission decision, so events run first on ties.
+            let arrival_first = match (event, arrival) {
+                (None, None) => break,
+                (Some(e), Some(a)) => a < e,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+            };
+            if arrival_first {
+                let now = arrival.expect("arrival_first implies an arrival");
+                state.waiting.push(next_arrival);
+                next_arrival += 1;
+                self.try_admit(now, &lowered, &mut state, &mut msim);
+            } else {
+                let step = msim.step().expect("event was pending");
+                if let Some(done) = step.completed {
+                    let idx = done.request as usize;
+                    state.completed_at[idx] = step.time;
+                    state.inflight_bytes[done.instance] -= lowered[idx].footprint;
+                    state.inflight_reqs[done.instance] -= 1;
+                    self.try_admit(step.time, &lowered, &mut state, &mut msim);
+                }
+            }
+        }
+
+        assert!(
+            state.completed_at.iter().all(|&t| t != u64::MAX),
+            "every request must complete"
+        );
+        let records = lowered
+            .iter()
+            .enumerate()
+            .map(|(i, req)| RequestRecord {
+                id: i as u64,
+                class: req.class,
+                instance: state.placed_on[i],
+                arrival: req.arrival,
+                admitted: state.admitted_at[i],
+                completed: state.completed_at[i],
+                footprint_bytes: req.footprint,
+            })
+            .collect();
+        let multi = msim.report();
+        ServeReport {
+            records,
+            total_cycles: multi.total_cycles,
+            multi,
+            budget_bytes: self.cfg.budget_bytes(),
+            peak_inflight_bytes: state.peak_inflight,
+        }
+    }
+
+    /// Position in `waiting` of the next request to try: the oldest starved
+    /// request if any has waited past the aging threshold, else the policy's
+    /// pick. `waiting` is kept in arrival order, so index 0 is the oldest.
+    fn pick(&self, now: u64, waiting: &[usize], lowered: &[Lowered]) -> usize {
+        let oldest_wait = now.saturating_sub(lowered[waiting[0]].arrival);
+        if oldest_wait >= self.cfg.aging_threshold {
+            return 0;
+        }
+        match self.cfg.policy {
+            AdmitPolicy::Fifo => 0,
+            AdmitPolicy::SmallestFirst => waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &req)| (lowered[req].footprint, req))
+                .map(|(pos, _)| pos)
+                .expect("waiting is non-empty"),
+        }
+    }
+
+    /// Admits as many waiting requests as fit. An instance fits a request
+    /// when the booked footprints stay within the (overbooked) budget — or
+    /// when it is completely idle, so a single oversized request can always
+    /// make progress. Placement is least-booked-first for load balance.
+    fn try_admit(
+        &self,
+        now: u64,
+        lowered: &[Lowered],
+        state: &mut AdmissionState,
+        msim: &mut MultiPipelineSim,
+    ) {
+        let budget = self.cfg.budget_bytes();
+        while !state.waiting.is_empty() {
+            let pos = self.pick(now, &state.waiting, lowered);
+            let req = state.waiting[pos];
+            let fp = lowered[req].footprint;
+            let target = (0..state.inflight_bytes.len())
+                .filter(|&i| state.inflight_reqs[i] == 0 || state.inflight_bytes[i] + fp <= budget)
+                .min_by_key(|&i| (state.inflight_bytes[i], i));
+            let Some(inst) = target else {
+                // Nothing fits the candidate now; completions will retry.
+                // Stopping (rather than skipping to a smaller request) is
+                // what keeps the aged head-of-line request from being
+                // overtaken forever.
+                return;
+            };
+            state.waiting.remove(pos);
+            msim.submit(inst, req as u64, &lowered[req].job, now);
+            state.inflight_bytes[inst] += fp;
+            state.inflight_reqs[inst] += 1;
+            state.peak_inflight[inst] = state.peak_inflight[inst].max(state.inflight_bytes[inst]);
+            state.placed_on[req] = inst;
+            state.admitted_at[req] = now;
+        }
+    }
+}
+
+/// Mutable scheduling state of one [`ServeSim::run`]: the wait queue (in
+/// arrival order), per-instance booked bytes and request counts, and the
+/// per-request placement/lifecycle slots filled in as the run progresses.
+#[derive(Debug)]
+struct AdmissionState {
+    waiting: Vec<usize>,
+    inflight_bytes: Vec<u64>,
+    inflight_reqs: Vec<usize>,
+    peak_inflight: Vec<u64>,
+    placed_on: Vec<usize>,
+    admitted_at: Vec<u64>,
+    completed_at: Vec<u64>,
+}
+
+impl AdmissionState {
+    fn new(instances: usize, requests: usize) -> Self {
+        AdmissionState {
+            waiting: Vec::new(),
+            inflight_bytes: vec![0; instances],
+            inflight_reqs: vec![0; instances],
+            peak_inflight: vec![0; instances],
+            placed_on: vec![usize::MAX; requests],
+            admitted_at: vec![u64::MAX; requests],
+            completed_at: vec![u64::MAX; requests],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_model::trace::TraceConfig;
+
+    fn small_cfg(instances: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::new(HwConfig::small(), instances);
+        cfg.tile_size = 64;
+        cfg
+    }
+
+    fn small_trace(n: usize, rate: f64, seed: u64) -> RequestTrace {
+        let mut tc = TraceConfig::new(n, rate, seed);
+        tc.seq_len = 512;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 16;
+        RequestTrace::generate(&tc)
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let report = ServeSim::new(small_cfg(2)).run(&small_trace(24, 40.0, 1));
+        assert_eq!(report.records.len(), 24);
+        for r in &report.records {
+            assert!(r.admitted >= r.arrival, "admission precedes arrival");
+            assert!(r.completed > r.admitted, "completion precedes admission");
+            assert!(r.instance < 2);
+        }
+        let placed: usize = (0..2).map(|i| report.requests_on(i)).sum();
+        assert_eq!(placed, 24);
+        assert_eq!(
+            report
+                .multi
+                .instances
+                .iter()
+                .map(|a| a.requests)
+                .sum::<usize>(),
+            24
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_trace(16, 60.0, 9);
+        let a = ServeSim::new(small_cfg(2)).run(&trace);
+        let b = ServeSim::new(small_cfg(2)).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn booked_footprints_respect_the_budget() {
+        let cfg = small_cfg(2);
+        let report = ServeSim::new(cfg).run(&small_trace(32, 200.0, 3));
+        let largest = report
+            .records
+            .iter()
+            .map(|r| r.footprint_bytes)
+            .max()
+            .unwrap();
+        for &peak in &report.peak_inflight_bytes {
+            assert!(
+                peak <= report.budget_bytes.max(largest),
+                "peak {peak} exceeds budget {} (largest single {largest})",
+                report.budget_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn overbooking_admits_requests_sooner() {
+        // Saturating load on one instance: relaxing the budget must not make
+        // queueing worse.
+        let trace = small_trace(32, 400.0, 5);
+        let tight = ServeSim::new(small_cfg(1)).run(&trace);
+        let mut loose_cfg = small_cfg(1);
+        loose_cfg.overbook = 4.0;
+        let loose = ServeSim::new(loose_cfg).run(&trace);
+        assert!(
+            loose.mean_queueing_delay() <= tight.mean_queueing_delay(),
+            "overbooking cannot increase queueing: {} vs {}",
+            loose.mean_queueing_delay(),
+            tight.mean_queueing_delay()
+        );
+        assert_eq!(loose.records.len(), trace.len());
+    }
+
+    #[test]
+    fn aging_bounds_the_wait_of_large_requests() {
+        // Under SmallestFirst a steady stream of small decodes could starve
+        // a large prefill; the aging threshold must bound its wait relative
+        // to the same schedule without aging.
+        let trace = small_trace(48, 300.0, 13);
+        let mut aged_cfg = small_cfg(1);
+        aged_cfg.aging_threshold = 20_000;
+        let mut starved_cfg = small_cfg(1);
+        starved_cfg.aging_threshold = u64::MAX;
+        let aged = ServeSim::new(aged_cfg).run(&trace);
+        let starved = ServeSim::new(starved_cfg).run(&trace);
+        let worst = |r: &ServeReport| r.records.iter().map(|x| x.queueing_delay()).max().unwrap();
+        assert!(
+            worst(&aged) <= worst(&starved),
+            "aging must not worsen the worst queueing delay: {} vs {}",
+            worst(&aged),
+            worst(&starved)
+        );
+    }
+
+    #[test]
+    fn two_instances_beat_one_under_load() {
+        let trace = small_trace(32, 300.0, 7);
+        let one = ServeSim::new(small_cfg(1)).run(&trace);
+        let two = ServeSim::new(small_cfg(2)).run(&trace);
+        assert!(
+            two.total_cycles < one.total_cycles,
+            "a second instance must cut the makespan: {} vs {}",
+            two.total_cycles,
+            one.total_cycles
+        );
+        assert!(two.p95() <= one.p95());
+        assert!(two.requests_on(0) > 0 && two.requests_on(1) > 0);
+    }
+
+    #[test]
+    fn trace_dram_traffic_is_conserved() {
+        let cfg = small_cfg(3);
+        let trace = small_trace(20, 100.0, 21);
+        let report = ServeSim::new(cfg).run(&trace);
+        let mut csim = CycleSim::new(cfg.hw);
+        csim.params = cfg.sim;
+        let want: u64 = trace
+            .requests
+            .iter()
+            .map(|spec| {
+                let task = AttentionTask::new(
+                    spec.queries,
+                    spec.seq_len,
+                    spec.hidden,
+                    spec.heads,
+                    spec.keep_ratio,
+                    cfg.tile_size,
+                );
+                csim.job(&task, None).total_dram_bytes()
+            })
+            .sum();
+        assert_eq!(report.multi.dram.total_bytes(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve config")]
+    fn underbooking_is_rejected() {
+        let mut cfg = small_cfg(1);
+        cfg.overbook = 0.5;
+        let _ = ServeSim::new(cfg);
+    }
+}

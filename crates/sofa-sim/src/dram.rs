@@ -1,21 +1,36 @@
 //! Shared DRAM channel with bandwidth arbitration and per-burst latency.
 //!
-//! All four stages contend for one off-chip channel: the prediction stage
+//! All requesters contend for one off-chip channel: the prediction stage
 //! streams low-precision keys, the KV path fetches the RASS-deduplicated
-//! selected vectors, and the formal stage writes outputs back. Requests queue
-//! per requester port; when the channel is free the next request is chosen
-//! round-robin across ports, occupies the channel for `bytes / bytes_per_cycle`
-//! and delivers its data one burst latency later (the latency of later bursts
-//! pipelines behind the first). This is the contention the analytic model's
-//! `max(compute, memory)` folds away — and the reason the cycle simulator can
-//! report *which* stage was starved.
+//! selected vectors, and the formal stage writes outputs back. In
+//! multi-instance simulation every instance's four stages map to their own
+//! ports, so one channel arbitrates across all concurrent requests. Requests
+//! queue per requester port; when the channel is free the next request is
+//! chosen round-robin across ports, occupies the channel for
+//! `bytes / bytes_per_cycle` and delivers its data one burst latency later
+//! (the latency of later bursts pipelines behind the first).
+//!
+//! On top of plain round-robin the channel supports **priority aging**
+//! ([`DramChannel::with_aging`]): a request whose queueing delay exceeds the
+//! aging threshold jumps the rotation and the oldest such request is served
+//! first. Round-robin alone is fair in *turns*, not in *time* — a port behind
+//! a string of large streaming transfers can starve even while being offered
+//! turns, which under multi-instance sharing turns into tail-latency
+//! outliers for whole requests.
+//!
+//! This is the contention the analytic model's `max(compute, memory)` folds
+//! away — and the reason the cycle simulator can report *which* stage was
+//! starved.
 
 use std::collections::VecDeque;
 
 /// One queued DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramRequest {
-    /// Requesting stage (also the arbitration port).
+    /// Requesting port. Single-pipeline simulation uses the stage index;
+    /// multi-instance simulation uses `instance * 4 + stage`.
+    pub port: usize,
+    /// Stage the request belongs to (0 = predict … 3 = formal).
     pub stage: usize,
     /// Tile the data belongs to.
     pub tile: usize,
@@ -36,81 +51,133 @@ pub struct Issued {
     pub done_at: u64,
 }
 
-/// The shared channel: per-port queues, round-robin pick, busy bookkeeping.
+/// The shared channel: per-port queues, round-robin pick with optional
+/// priority aging, busy bookkeeping.
 #[derive(Debug)]
 pub struct DramChannel {
     /// Sustained bandwidth in bytes per cycle.
     bytes_per_cycle: f64,
     /// Fixed latency from issue to first data beat (cycles).
     burst_latency: u64,
-    queues: Vec<VecDeque<DramRequest>>,
+    /// Queueing delay beyond which a request overrides round-robin
+    /// (`u64::MAX` disables aging).
+    age_threshold: u64,
+    queues: Vec<VecDeque<(DramRequest, u64)>>,
     next_port: usize,
     busy: bool,
     busy_cycles: u64,
     bytes_read: u64,
     bytes_written: u64,
+    aged_issues: u64,
+    queue_wait_cycles: u64,
+    issued_requests: u64,
 }
 
 impl DramChannel {
-    /// Creates a channel with `ports` requester ports.
+    /// Creates a channel with `ports` requester ports and plain round-robin
+    /// arbitration.
     ///
     /// # Panics
     ///
     /// Panics if `bytes_per_cycle` is not positive or `ports` is zero.
     pub fn new(ports: usize, bytes_per_cycle: f64, burst_latency: u64) -> Self {
+        Self::with_aging(ports, bytes_per_cycle, burst_latency, u64::MAX)
+    }
+
+    /// Creates a channel whose arbitration ages: a queued request that has
+    /// waited at least `age_threshold` cycles is served before the round-robin
+    /// rotation, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive or `ports` is zero.
+    pub fn with_aging(
+        ports: usize,
+        bytes_per_cycle: f64,
+        burst_latency: u64,
+        age_threshold: u64,
+    ) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
         assert!(ports > 0, "need at least one port");
         DramChannel {
             bytes_per_cycle,
             burst_latency,
+            age_threshold,
             queues: (0..ports).map(|_| VecDeque::new()).collect(),
             next_port: 0,
             busy: false,
             busy_cycles: 0,
             bytes_read: 0,
             bytes_written: 0,
+            aged_issues: 0,
+            queue_wait_cycles: 0,
+            issued_requests: 0,
         }
     }
 
-    /// Queues a request on its stage's port.
+    /// Queues a request on its port, stamping the enqueue time for aging and
+    /// queueing-delay accounting.
     ///
     /// # Panics
     ///
-    /// Panics if the request's stage has no port.
-    pub fn enqueue(&mut self, req: DramRequest) {
-        assert!(req.stage < self.queues.len(), "no port for stage");
-        self.queues[req.stage].push_back(req);
+    /// Panics if the request's port does not exist.
+    pub fn enqueue(&mut self, req: DramRequest, now: u64) {
+        assert!(req.port < self.queues.len(), "no such DRAM port");
+        self.queues[req.port].push_back((req, now));
+    }
+
+    /// The port an aged request would be served from: the head request with
+    /// the longest wait among those at or beyond the threshold, ties broken
+    /// by port index so arbitration stays deterministic.
+    fn aged_port(&self, now: u64) -> Option<usize> {
+        if self.age_threshold == u64::MAX {
+            return None;
+        }
+        self.queues
+            .iter()
+            .enumerate()
+            .filter_map(|(p, q)| q.front().map(|&(_, at)| (p, now.saturating_sub(at))))
+            .filter(|&(_, wait)| wait >= self.age_threshold)
+            .max_by_key(|&(p, wait)| (wait, std::cmp::Reverse(p)))
+            .map(|(p, _)| p)
     }
 
     /// If the channel is idle and work is queued, issues the next request
-    /// (round-robin over ports) and returns its timing. The caller is
-    /// responsible for scheduling the returned `free_at` / `done_at` events
-    /// and for calling [`DramChannel::release`] at `free_at`.
+    /// (aged request first, else round-robin over ports) and returns its
+    /// timing. The caller is responsible for scheduling the returned
+    /// `free_at` / `done_at` events and for calling [`DramChannel::release`]
+    /// at `free_at`.
     pub fn try_issue(&mut self, now: u64) -> Option<Issued> {
         if self.busy {
             return None;
         }
         let ports = self.queues.len();
-        for i in 0..ports {
-            let port = (self.next_port + i) % ports;
-            if let Some(req) = self.queues[port].pop_front() {
-                self.next_port = (port + 1) % ports;
-                let transfer = (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
-                self.busy = true;
-                self.busy_cycles += transfer;
-                if req.write {
-                    self.bytes_written += req.bytes;
-                } else {
-                    self.bytes_read += req.bytes;
-                }
-                return Some(Issued {
-                    request: req,
-                    free_at: now + transfer,
-                    done_at: now + transfer + self.burst_latency,
-                });
-            }
+        let pick = if let Some(aged) = self.aged_port(now) {
+            self.aged_issues += 1;
+            Some(aged)
+        } else {
+            (0..ports)
+                .map(|i| (self.next_port + i) % ports)
+                .find(|&p| !self.queues[p].is_empty())
+        };
+        let port = pick?;
+        let (req, enqueued_at) = self.queues[port].pop_front().expect("picked port has work");
+        self.next_port = (port + 1) % ports;
+        let transfer = (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        self.busy = true;
+        self.busy_cycles += transfer;
+        self.queue_wait_cycles += now.saturating_sub(enqueued_at);
+        self.issued_requests += 1;
+        if req.write {
+            self.bytes_written += req.bytes;
+        } else {
+            self.bytes_read += req.bytes;
         }
-        None
+        Some(Issued {
+            request: req,
+            free_at: now + transfer,
+            done_at: now + transfer + self.burst_latency,
+        })
     }
 
     /// Marks the channel free again (call at the issued request's `free_at`).
@@ -137,15 +204,29 @@ impl DramChannel {
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
     }
+
+    /// How many issues were decided by aging rather than round-robin.
+    pub fn aged_issues(&self) -> u64 {
+        self.aged_issues
+    }
+
+    /// Mean cycles a request waited in its port queue before issue.
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.issued_requests == 0 {
+            return 0.0;
+        }
+        self.queue_wait_cycles as f64 / self.issued_requests as f64
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn req(stage: usize, tile: usize, bytes: u64) -> DramRequest {
+    fn req(port: usize, tile: usize, bytes: u64) -> DramRequest {
         DramRequest {
-            stage,
+            port,
+            stage: port % 4,
             tile,
             bytes,
             write: false,
@@ -155,7 +236,7 @@ mod tests {
     #[test]
     fn transfer_time_is_bandwidth_limited_plus_latency() {
         let mut ch = DramChannel::new(4, 64.0, 100);
-        ch.enqueue(req(0, 0, 6400));
+        ch.enqueue(req(0, 0, 6400), 0);
         let issued = ch.try_issue(0).unwrap();
         assert_eq!(issued.free_at, 100, "6400 B / 64 B-per-cycle");
         assert_eq!(issued.done_at, 200, "plus one burst latency");
@@ -166,8 +247,8 @@ mod tests {
     #[test]
     fn channel_serialises_requests() {
         let mut ch = DramChannel::new(2, 1.0, 0);
-        ch.enqueue(req(0, 0, 10));
-        ch.enqueue(req(1, 0, 10));
+        ch.enqueue(req(0, 0, 10), 0);
+        ch.enqueue(req(1, 0, 10), 0);
         let first = ch.try_issue(0).unwrap();
         assert!(ch.try_issue(0).is_none(), "channel busy");
         ch.release();
@@ -179,15 +260,15 @@ mod tests {
     fn arbitration_is_round_robin_across_ports() {
         let mut ch = DramChannel::new(3, 1.0, 0);
         // Port 2 queues two requests, ports 0 and 1 one each.
-        ch.enqueue(req(2, 0, 1));
-        ch.enqueue(req(2, 1, 1));
-        ch.enqueue(req(0, 0, 1));
-        ch.enqueue(req(1, 0, 1));
+        ch.enqueue(req(2, 0, 1), 0);
+        ch.enqueue(req(2, 1, 1), 0);
+        ch.enqueue(req(0, 0, 1), 0);
+        ch.enqueue(req(1, 0, 1), 0);
         let mut order = Vec::new();
         let mut now = 0;
         while ch.is_active() {
             let issued = ch.try_issue(now).unwrap();
-            order.push(issued.request.stage);
+            order.push(issued.request.port);
             now = issued.free_at;
             ch.release();
         }
@@ -196,14 +277,58 @@ mod tests {
     }
 
     #[test]
+    fn aged_request_overrides_round_robin() {
+        let mut ch = DramChannel::with_aging(3, 1.0, 0, 50);
+        // Port 2's request has been waiting since cycle 0; ports 0 and 1 just
+        // arrived. Plain round-robin would serve port 0 first.
+        ch.enqueue(req(2, 0, 1), 0);
+        ch.enqueue(req(0, 0, 1), 60);
+        ch.enqueue(req(1, 0, 1), 60);
+        let first = ch.try_issue(60).unwrap();
+        assert_eq!(first.request.port, 2, "starved port must jump the queue");
+        assert_eq!(ch.aged_issues(), 1);
+        ch.release();
+        // Below the threshold arbitration falls back to the rotation.
+        let second = ch.try_issue(61).unwrap();
+        assert_eq!(second.request.port, 0);
+        assert_eq!(ch.aged_issues(), 1);
+    }
+
+    #[test]
+    fn oldest_aged_request_wins() {
+        let mut ch = DramChannel::with_aging(4, 1.0, 0, 10);
+        ch.enqueue(req(3, 0, 1), 5);
+        ch.enqueue(req(1, 0, 1), 0); // oldest
+        ch.enqueue(req(2, 0, 1), 5);
+        let first = ch.try_issue(100).unwrap();
+        assert_eq!(first.request.port, 1);
+        ch.release();
+        // Equal waits: the lowest port index is served first.
+        let second = ch.try_issue(100).unwrap();
+        assert_eq!(second.request.port, 2);
+    }
+
+    #[test]
+    fn queue_wait_is_accounted() {
+        let mut ch = DramChannel::new(1, 1.0, 0);
+        ch.enqueue(req(0, 0, 4), 10);
+        let _ = ch.try_issue(30).unwrap();
+        assert!((ch.mean_queue_wait() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn writes_and_reads_are_tracked_separately() {
         let mut ch = DramChannel::new(1, 8.0, 0);
-        ch.enqueue(DramRequest {
-            stage: 0,
-            tile: 0,
-            bytes: 64,
-            write: true,
-        });
+        ch.enqueue(
+            DramRequest {
+                port: 0,
+                stage: 3,
+                tile: 0,
+                bytes: 64,
+                write: true,
+            },
+            0,
+        );
         let issued = ch.try_issue(0).unwrap();
         assert!(issued.request.write);
         assert_eq!(ch.bytes_written(), 64);
@@ -213,7 +338,7 @@ mod tests {
     #[test]
     fn zero_byte_request_frees_immediately() {
         let mut ch = DramChannel::new(1, 64.0, 5);
-        ch.enqueue(req(0, 0, 0));
+        ch.enqueue(req(0, 0, 0), 7);
         let issued = ch.try_issue(7).unwrap();
         assert_eq!(issued.free_at, 7);
         assert_eq!(issued.done_at, 12);
@@ -224,5 +349,6 @@ mod tests {
         let mut ch = DramChannel::new(2, 4.0, 1);
         assert!(ch.try_issue(0).is_none());
         assert!(!ch.is_active());
+        assert_eq!(ch.mean_queue_wait(), 0.0);
     }
 }

@@ -13,6 +13,10 @@
 //!   arbitration, bandwidth-limited transfers, per-burst latency.
 //! * [`sim`] — [`CycleSim`]: the event loop driving per-tile work descriptors
 //!   (from `sofa_hw::descriptor`) through the four stages.
+//! * [`multi`] — [`MultiPipelineSim`]: several pipeline instances, each with
+//!   its own ping-pong buffer pool, sharing one DRAM channel; request streams
+//!   are submitted reactively so a serving scheduler (`sofa-serve`) can feed
+//!   admission decisions back into simulated time.
 //! * [`report`] — [`CycleReport`]: per-stage busy/stall accounting, DRAM and
 //!   buffer statistics, a stage-by-stage timeline, and the
 //!   [`CycleComparison`] cross-check against the analytic `SimReport`.
@@ -40,9 +44,11 @@
 
 pub mod dram;
 pub mod event;
+pub mod multi;
 pub mod pingpong;
 pub mod report;
 pub mod sim;
 
+pub use multi::{Completion, InstanceActivity, MultiPipelineSim, MultiReport, Step};
 pub use report::{CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry};
-pub use sim::{CycleSim, SimParams};
+pub use sim::{CycleSim, PipelineJob, SimParams};

@@ -33,7 +33,7 @@ use sofa_hw::config::HwConfig;
 use sofa_hw::descriptor::TileWork;
 use sofa_hw::engines::{DlzsWork, KvGenWork, SortWork, SuFaWork};
 
-const STAGES: usize = 4;
+pub(crate) const STAGES: usize = 4;
 
 /// Structural knobs of the simulated microarchitecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,11 @@ pub struct SimParams {
     pub prefetch_depth: usize,
     /// Minimum cycles a tile occupies a stage (control overhead floor).
     pub min_tile_cycles: u64,
+    /// DRAM queueing delay beyond which a request overrides round-robin
+    /// arbitration (priority aging); `u64::MAX` disables aging. Mostly
+    /// relevant to multi-instance simulation, where streams can starve
+    /// each other.
+    pub dram_age_threshold: u64,
 }
 
 impl Default for SimParams {
@@ -56,6 +61,7 @@ impl Default for SimParams {
             burst_latency: 64,
             prefetch_depth: 2,
             min_tile_cycles: 1,
+            dram_age_threshold: u64::MAX,
         }
     }
 }
@@ -105,9 +111,19 @@ impl CycleSim {
         task: &AttentionTask,
         stats: Option<&TileSelectionStats>,
     ) -> CycleReport {
+        let PipelineJob { work, cycles } = self.job(task, stats);
+        Engine::new(self, &work, cycles).run()
+    }
+
+    /// Lowers `task` into a replayable [`PipelineJob`]: the per-tile work
+    /// descriptors plus the per-tile stage cycle counts this simulator would
+    /// charge. The multi-instance simulator (`crate::multi`) and the serving
+    /// scheduler consume jobs instead of tasks so the lowering cost is paid
+    /// once per request, not once per simulation.
+    pub fn job(&self, task: &AttentionTask, stats: Option<&TileSelectionStats>) -> PipelineJob {
         let work = self.accel.tile_descriptors(task, stats);
         let cycles = self.tile_cycles(task, &work);
-        Engine::new(self, &work, cycles).run()
+        PipelineJob { work, cycles }
     }
 
     /// Per-tile compute cycles of each stage.
@@ -190,8 +206,40 @@ impl CycleSim {
     }
 }
 
+/// One task lowered to per-tile descriptors and stage cycle counts — the unit
+/// of work the multi-instance simulator schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineJob {
+    /// Per-tile work descriptors (dataflow order along the context).
+    pub work: Vec<TileWork>,
+    /// Per-tile `[predict, sort, kv, formal]` stage cycles.
+    pub cycles: Vec<[u64; STAGES]>,
+}
+
+impl PipelineJob {
+    /// Number of context tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Total DRAM bytes the job moves across all tiles and stages.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.work.iter().map(|w| w.total_dram_bytes()).sum()
+    }
+
+    /// The largest per-tile DRAM footprint — the bytes one resident tile of
+    /// this request can pin in on-chip buffers, used by admission control.
+    pub fn peak_tile_bytes(&self) -> u64 {
+        self.work
+            .iter()
+            .map(|w| w.total_dram_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Which stage a DRAM read feeds, per tile.
-fn read_bytes(work: &TileWork, stage: usize) -> u64 {
+pub(crate) fn read_bytes(work: &TileWork, stage: usize) -> u64 {
     match stage {
         0 => work.pred_read_bytes,
         2 => work.kv_read_bytes,
@@ -232,7 +280,12 @@ impl<'a> Engine<'a> {
             cycles,
             n,
             queue: EventQueue::new(),
-            dram: DramChannel::new(STAGES, bytes_per_cycle, sim.params.burst_latency),
+            dram: DramChannel::with_aging(
+                STAGES,
+                bytes_per_cycle,
+                sim.params.burst_latency,
+                sim.params.dram_age_threshold,
+            ),
             buffers: (0..STAGES - 1)
                 .map(|_| PingPongBuffer::new(sim.params.buffer_depth))
                 .collect(),
@@ -320,12 +373,16 @@ impl<'a> Engine<'a> {
             3 => {
                 let bytes = self.work[tile].write_bytes;
                 if bytes > 0 {
-                    self.dram.enqueue(DramRequest {
-                        stage: 3,
-                        tile,
-                        bytes,
-                        write: true,
-                    });
+                    self.dram.enqueue(
+                        DramRequest {
+                            port: 3,
+                            stage: 3,
+                            tile,
+                            bytes,
+                            write: true,
+                        },
+                        now,
+                    );
                     self.pump_dram(now);
                 }
             }
@@ -340,12 +397,16 @@ impl<'a> Engine<'a> {
             self.read_done[stage][tile] = Some(now);
             return;
         }
-        self.dram.enqueue(DramRequest {
-            stage,
-            tile,
-            bytes,
-            write: false,
-        });
+        self.dram.enqueue(
+            DramRequest {
+                port: stage,
+                stage,
+                tile,
+                bytes,
+                write: false,
+            },
+            now,
+        );
         self.pump_dram(now);
     }
 

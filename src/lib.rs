@@ -8,6 +8,8 @@
 //! * [`core`] — the SOFA algorithms (DLZS, SADS, SU-FA, pipeline, DSE).
 //! * [`hw`] — analytic hardware models (engines, memory, energy, RASS).
 //! * [`sim`] — the event-driven cycle-level simulator of the tiled pipeline.
+//! * [`serve`] — continuous-batching request scheduling over multi-instance
+//!   simulation.
 //! * [`baselines`] — GPU/TPU and SOTA-accelerator comparison baselines.
 //! * [`bench`] — the experiment harness regenerating the paper's figures.
 
@@ -16,5 +18,6 @@ pub use sofa_bench as bench;
 pub use sofa_core as core;
 pub use sofa_hw as hw;
 pub use sofa_model as model;
+pub use sofa_serve as serve;
 pub use sofa_sim as sim;
 pub use sofa_tensor as tensor;

@@ -180,4 +180,57 @@ proptest! {
         }
         prop_assert!(mask.keep_ratio() <= 1.0 + 1e-9);
     }
+
+    // ---------------- serving invariants ----------------
+
+    #[test]
+    fn serving_conserves_dram_traffic_and_respects_the_buffer_budget(
+        num_requests in 4usize..20,
+        rate in 20.0f64..400.0,
+        instances in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        use sofa_hw::accel::AttentionTask;
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{ServeConfig, ServeSim};
+        use sofa_sim::CycleSim;
+
+        let mut tc = TraceConfig::new(num_requests, rate, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let mut cfg = ServeConfig::new(HwConfig::small(), instances);
+        cfg.tile_size = 32;
+        let report = ServeSim::new(cfg).run(&trace);
+
+        // Conservation: shared-channel traffic equals the summed per-request
+        // descriptor traffic, independent of arbitration and placement.
+        let mut csim = CycleSim::new(cfg.hw);
+        csim.params = cfg.sim;
+        let want: u64 = trace.requests.iter().map(|spec| {
+            let task = AttentionTask::new(
+                spec.queries, spec.seq_len, spec.hidden, spec.heads,
+                spec.keep_ratio, cfg.tile_size,
+            );
+            csim.job(&task, None).total_dram_bytes()
+        }).sum();
+        prop_assert_eq!(report.multi.dram.total_bytes(), want);
+
+        // Capacity: booked footprints never exceed the budget while more
+        // than one request shares an instance (an idle instance may accept
+        // one oversized request so service can always progress).
+        let largest = report.records.iter().map(|r| r.footprint_bytes).max().unwrap();
+        for &peak in &report.peak_inflight_bytes {
+            prop_assert!(peak <= report.budget_bytes.max(largest));
+        }
+
+        // Liveness + causality: every request completes after admission.
+        prop_assert_eq!(report.records.len(), num_requests);
+        for r in &report.records {
+            prop_assert!(r.admitted >= r.arrival && r.completed > r.admitted);
+        }
+    }
 }
