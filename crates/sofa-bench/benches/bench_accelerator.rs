@@ -47,5 +47,38 @@ fn bench_accelerator_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_accelerator_model);
+fn bench_cycle_sim_grid_threads(c: &mut Criterion) {
+    // The cycle-sim validation grid (the CI regression gate's input) fans
+    // out one simulation per grid point; this measures the fan-out at
+    // different worker counts.
+    use sofa_sim::CycleSim;
+    let mut group = c.benchmark_group("cycle_sim_grid_threads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    let sim = CycleSim::new(HwConfig::paper_default());
+    let tasks = sofa_bench::experiments::cycle_sim_tasks();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("validate_grid", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    sofa_par::with_threads(threads, || {
+                        std::hint::black_box(sofa_par::par_map(&tasks, |t| sim.validate(t).1))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_accelerator_model,
+    bench_cycle_sim_grid_threads
+);
 criterion_main!(benches);

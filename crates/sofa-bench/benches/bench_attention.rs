@@ -1,10 +1,13 @@
 //! Criterion bench: SU-FA vs FlashAttention-1/2 vs vanilla attention on the
 //! formal-compute stage (supports paper Figs. 5 and 17, and the SU-FA order
-//! ablation of §III-C).
+//! ablation of §III-C), plus the threads dimension of the batched pipeline
+//! (`run_batch` under `sofa_par::with_threads` — the wall-time trajectory
+//! the `par_scaling` experiment records as a JSON artifact).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sofa_core::flash::{flash_attention, vanilla_attention_counted, FlashConfig, FlashVersion};
 use sofa_core::ops::OpCounts;
+use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
 use sofa_core::sufa::{sorted_updating_attention, SuFaOrder};
 use sofa_core::topk::topk_exact;
 use sofa_model::{AttentionWorkload, ScoreDistribution};
@@ -72,5 +75,35 @@ fn bench_formal_stage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_formal_stage);
+fn bench_run_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_batch_threads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    // A batch of 8 serving-request-sized workloads — the shape the
+    // acceptance speedup is measured on.
+    let workloads: Vec<AttentionWorkload> = (0..8)
+        .map(|i| {
+            AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 384, 64, 48, 1700 + i)
+        })
+        .collect();
+    let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch8", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    sofa_par::with_threads(threads, || {
+                        std::hint::black_box(pipeline.run_batch(&workloads))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formal_stage, bench_run_batch_threads);
 criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Prints the parallel-engine scaling experiment — `run_batch` wall-time at
+//! 1/2/4/8 worker threads with a per-sweep bit-identity re-check — and
+//! optionally writes it as a JSON artifact (`--json <path>`), which the CI
+//! bench-smoke job uploads per PR as the performance trajectory of the
+//! threading work.
+
+use sofa_bench::report::write_json_artifact_from_args;
+
+fn main() {
+    let tables = [sofa_bench::experiments::par_scaling()];
+    for t in &tables {
+        t.print();
+        println!();
+    }
+    if let Some(path) = write_json_artifact_from_args(&tables) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,6 +1,9 @@
 //! Prints the serving experiments — continuous-batching latency percentiles
 //! and multi-instance strong scaling — and optionally writes them as a JSON
 //! artifact (`--json <path>`), which the CI bench-smoke job uploads per PR.
+//! The experiments are called sequentially on purpose: each one fans its
+//! own (instances, load) grid out across the cores internally, which beats
+//! pitting the two whole studies against each other on a shared pool.
 
 use sofa_bench::report::write_json_artifact_from_args;
 

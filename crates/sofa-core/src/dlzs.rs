@@ -101,10 +101,14 @@ impl DlzsPredictor {
         assert_eq!(x.cols(), self.input_dim, "token width mismatch");
         let xq = Quantized::from_matrix(8, x);
         let out_scale = xq.params.scale * self.wk_scale;
-        let mut out = Matrix::zeros(x.rows(), self.head_dim);
-        for i in 0..x.rows() {
+        // Token rows are independent: fan out across cores, tally one
+        // OpCounts per row and sum them in row order afterwards, so both
+        // K̂ and the counters are bit-identical to the sequential loop.
+        let rows = sofa_par::par_map_index(x.rows(), |i| {
             let xrow = xq.row(i);
-            for j in 0..self.head_dim {
+            let mut ops = OpCounts::new();
+            let mut vals = vec![0.0f32; self.head_dim];
+            for (j, slot) in vals.iter_mut().enumerate() {
                 let mut acc: i64 = 0;
                 for (n, &xv) in xrow.iter().enumerate() {
                     let code = self.wk_codes[n * self.head_dim + j];
@@ -113,13 +117,19 @@ impl DlzsPredictor {
                         continue;
                     }
                     acc += approx_mul_dlzs(xv, code);
-                    stats.ops.record(OpKind::Shift, 1);
-                    stats.ops.record(OpKind::Add, 1);
+                    ops.record(OpKind::Shift, 1);
+                    ops.record(OpKind::Add, 1);
                 }
                 // Truncated to 16 bits in hardware before the next phase.
                 let acc = acc.clamp(i16::MIN as i64, i16::MAX as i64);
-                out.set(i, j, acc as f32 * out_scale);
+                *slot = acc as f32 * out_scale;
             }
+            (vals, ops)
+        });
+        let mut out = Matrix::zeros(x.rows(), self.head_dim);
+        for (i, (vals, ops)) in rows.into_iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&vals);
+            stats.ops += ops;
         }
         stats.weight_bytes += self.weight_storage_bytes();
         stats.activation_bytes += (x.rows() * x.cols()) as u64; // 8-bit tokens
@@ -148,10 +158,13 @@ impl DlzsPredictor {
         let q_codes: Vec<LzCode> = qq.codes().iter().map(|&c| encode(c, 16)).collect();
         stats.ops.record(OpKind::LzEncode, q_codes.len() as u64);
 
-        let mut out = Matrix::zeros(q.rows(), k_hat.rows());
-        for i in 0..q.rows() {
+        // Query rows are independent — same fan-out/ordered-merge scheme as
+        // the key-prediction phase (bit-identical at any thread count).
+        let rows = sofa_par::par_map_index(q.rows(), |i| {
             let qrow = &q_codes[i * q.cols()..(i + 1) * q.cols()];
-            for j in 0..k_hat.rows() {
+            let mut ops = OpCounts::new();
+            let mut vals = vec![0.0f32; k_hat.rows()];
+            for (j, slot) in vals.iter_mut().enumerate() {
                 let krow = kq.row(j);
                 let mut acc: i64 = 0;
                 for (d, &code) in qrow.iter().enumerate() {
@@ -160,11 +173,17 @@ impl DlzsPredictor {
                         continue;
                     }
                     acc += approx_mul_dlzs(kv, code);
-                    stats.ops.record(OpKind::Shift, 1);
-                    stats.ops.record(OpKind::Add, 1);
+                    ops.record(OpKind::Shift, 1);
+                    ops.record(OpKind::Add, 1);
                 }
-                out.set(i, j, acc as f32 * out_scale);
+                *slot = acc as f32 * out_scale;
             }
+            (vals, ops)
+        });
+        let mut out = Matrix::zeros(q.rows(), k_hat.rows());
+        for (i, (vals, ops)) in rows.into_iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&vals);
+            stats.ops += ops;
         }
         stats.activation_bytes += (q.rows() * q.cols() * 2) as u64; // 16-bit Q
         out

@@ -182,6 +182,32 @@ impl PipelineResult {
     }
 }
 
+/// Reusable per-run scratch buffers (the on-demand K/V matrices), so a
+/// batched run allocates once per worker instead of once per workload.
+/// Reuse never changes results: the buffers are reshaped and zeroed before
+/// every run, exactly matching a fresh [`Matrix::zeros`].
+#[derive(Debug)]
+pub struct RunScratch {
+    keys: Matrix,
+    values: Matrix,
+}
+
+impl RunScratch {
+    /// Creates empty scratch; buffers grow to the largest workload they see.
+    pub fn new() -> Self {
+        RunScratch {
+            keys: Matrix::zeros(0, 0),
+            values: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for RunScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The configurable SOFA pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct SofaPipeline {
@@ -208,12 +234,36 @@ impl SofaPipeline {
     /// tile descriptor streams for multi-instance cycle simulation. (The
     /// `sofa-serve` experiments lower requests from expected-value
     /// statistics instead, trading mask fidelity for sweep speed.)
+    ///
+    /// Workloads are independent, so the batch fans out across CPU cores
+    /// (`sofa_par::par_chunks`, worker count from `SOFA_THREADS`), with one
+    /// reusable [`RunScratch`] per worker instead of fresh allocations per
+    /// workload. Results are bit-identical to calling [`SofaPipeline::run`]
+    /// per workload, at any thread count — the differential property test
+    /// in `tests/property_tests.rs` enforces this.
     pub fn run_batch(&self, workloads: &[AttentionWorkload]) -> Vec<PipelineResult> {
-        workloads.iter().map(|w| self.run(w)).collect()
+        sofa_par::par_chunks(workloads, |_, chunk| {
+            let mut scratch = RunScratch::new();
+            chunk
+                .iter()
+                .map(|w| self.run_with_scratch(w, &mut scratch))
+                .collect()
+        })
     }
 
     /// Runs the full pipeline on one workload.
     pub fn run(&self, w: &AttentionWorkload) -> PipelineResult {
+        self.run_with_scratch(w, &mut RunScratch::new())
+    }
+
+    /// Runs the full pipeline on one workload, reusing `scratch`'s buffers
+    /// for the on-demand K/V matrices. Output is identical to
+    /// [`SofaPipeline::run`]; only the allocation behaviour differs.
+    pub fn run_with_scratch(
+        &self,
+        w: &AttentionWorkload,
+        scratch: &mut RunScratch,
+    ) -> PipelineResult {
         let s = w.seq_len();
         let k = resolve_k(s, self.cfg.keep_ratio);
 
@@ -255,19 +305,20 @@ impl SofaPipeline {
         // Stage 3: on-demand KV generation — only the keys any query needs.
         let needed = mask.union_of_keys();
         let mut kv_generation_ops = OpCounts::new();
-        let (keys, values) = generate_kv_on_demand(w, &needed, &mut kv_generation_ops);
+        generate_kv_on_demand(w, &needed, &mut kv_generation_ops, scratch);
+        let (keys, values) = (&scratch.keys, &scratch.values);
 
         // Stage 4: formal compute.
         let mut formal_ops = OpCounts::new();
         let (output, sufa_stats) = match self.cfg.formal {
             FormalScheme::SuFa(order) => {
-                sorted_updating_attention(&w.q, &keys, &values, &mask, order, &mut formal_ops)
+                sorted_updating_attention(&w.q, keys, values, &mask, order, &mut formal_ops)
             }
             FormalScheme::Flash(version) => (
                 flash_over_mask(
                     &w.q,
-                    &keys,
-                    &values,
+                    keys,
+                    values,
                     &mask,
                     &FlashConfig::new(self.cfg.tile_size, version),
                     &mut formal_ops,
@@ -289,17 +340,19 @@ impl SofaPipeline {
     }
 }
 
-/// Generates only the needed K/V rows (`K_i = x_i·W_k`, `V_i = x_i·W_v`),
-/// leaving unneeded rows zero. Counts one multiply and one add per MAC.
+/// Generates only the needed K/V rows (`K_i = x_i·W_k`, `V_i = x_i·W_v`)
+/// into `scratch`'s reset buffers, leaving unneeded rows zero. Counts one
+/// multiply and one add per MAC.
 fn generate_kv_on_demand(
     w: &AttentionWorkload,
     needed: &[usize],
     ops: &mut OpCounts,
-) -> (Matrix, Matrix) {
+    scratch: &mut RunScratch,
+) {
     let d = w.wk.cols();
     let n = w.x.cols();
-    let mut k = Matrix::zeros(w.seq_len(), d);
-    let mut v = Matrix::zeros(w.seq_len(), d);
+    scratch.keys.reset_zeros(w.seq_len(), d);
+    scratch.values.reset_zeros(w.seq_len(), d);
     for &row in needed {
         let xrow = w.x.row(row);
         for j in 0..d {
@@ -309,13 +362,12 @@ fn generate_kv_on_demand(
                 ka += x * w.wk.get(i, j);
                 va += x * w.wv.get(i, j);
             }
-            k.set(row, j, ka);
-            v.set(row, j, va);
+            scratch.keys.set(row, j, ka);
+            scratch.values.set(row, j, va);
         }
         ops.record(OpKind::Mul, 2 * (n * d) as u64);
         ops.record(OpKind::Add, 2 * (n * d) as u64);
     }
-    (k, v)
 }
 
 /// Baseline formal compute: per query row, gather the selected keys/values and
@@ -393,6 +445,44 @@ mod tests {
         // Each entry exports its own per-tile selection stats.
         let stats = batch[1].tile_selection_stats(16);
         assert_eq!(stats.num_tiles(), 64 / 16);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_changes_nothing() {
+        // One scratch serving a large → small → large sequence must produce
+        // the same bits as fresh per-run allocation, including after the
+        // buffers shrink and regrow.
+        let big = workload();
+        let small = AttentionWorkload::generate(&ScoreDistribution::gpt_like(), 4, 64, 32, 16, 5);
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let mut scratch = RunScratch::new();
+        let b1 = pipeline.run_with_scratch(&big, &mut scratch);
+        let s1 = pipeline.run_with_scratch(&small, &mut scratch);
+        let b2 = pipeline.run_with_scratch(&big, &mut scratch);
+        assert_eq!(b1.output, pipeline.run(&big).output);
+        assert_eq!(s1.output, pipeline.run(&small).output);
+        assert_eq!(b1.output, b2.output);
+        assert_eq!(b1.mask, b2.mask);
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_at_any_thread_count() {
+        let workloads = [
+            workload(),
+            AttentionWorkload::generate(&ScoreDistribution::gpt_like(), 4, 64, 32, 16, 99),
+            AttentionWorkload::generate(&ScoreDistribution::vit_like(), 8, 96, 48, 32, 7),
+        ];
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let solo: Vec<PipelineResult> = workloads.iter().map(|w| pipeline.run(w)).collect();
+        for threads in [1usize, 2, 8] {
+            let batch = sofa_par::with_threads(threads, || pipeline.run_batch(&workloads));
+            assert_eq!(batch.len(), solo.len());
+            for (b, s) in batch.iter().zip(solo.iter()) {
+                assert_eq!(b.output, s.output, "threads={threads}");
+                assert_eq!(b.mask, s.mask, "threads={threads}");
+                assert_eq!(b.total_ops(), s.total_ops(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

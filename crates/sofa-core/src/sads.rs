@@ -293,10 +293,25 @@ fn select_top_q(
 }
 
 /// Runs SADS over every row of a predicted score matrix.
+///
+/// Rows are independent (the Distributed Cluster Effect is a per-row
+/// property), so they fan out across CPU cores via `sofa_par::par_map_index`.
+/// Each row tallies its own [`OpCounts`]; the tallies are summed in row
+/// order afterwards, so both the mask and the operation counts are
+/// bit-identical to the sequential loop at any `SOFA_THREADS` setting.
 pub fn sads_topk(scores: &Matrix, k: usize, cfg: &SadsConfig) -> (TopKMask, OpCounts) {
+    let per_row = sofa_par::par_map_index(scores.rows(), |i| {
+        let mut ops = OpCounts::new();
+        let selected = sads_topk_row(scores.row(i), k, cfg, &mut ops);
+        (selected, ops)
+    });
     let mut ops = OpCounts::new();
-    let rows = (0..scores.rows())
-        .map(|i| sads_topk_row(scores.row(i), k, cfg, &mut ops))
+    let rows = per_row
+        .into_iter()
+        .map(|(selected, row_ops)| {
+            ops += row_ops;
+            selected
+        })
         .collect();
     (TopKMask::new(scores.cols(), rows), ops)
 }

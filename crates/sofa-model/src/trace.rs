@@ -261,6 +261,66 @@ mod tests {
     }
 
     #[test]
+    fn empirical_mean_inter_arrival_converges_to_the_configured_rate() {
+        // 1/rate is the configured mean gap; over a long trace the empirical
+        // mean (span / number of gaps, counting the gap from t=0 to the
+        // first arrival) must converge to it within sampling noise.
+        for (rate, seed) in [(50.0f64, 123u64), (200.0, 9), (5.0, 77)] {
+            let n = 4000;
+            let trace = RequestTrace::generate(&TraceConfig::new(n, rate, seed));
+            let configured_gap = 1.0e6 / rate;
+            let empirical_gap = trace.span_cycles() as f64 / n as f64;
+            let err = (empirical_gap - configured_gap).abs() / configured_gap;
+            assert!(
+                err < 0.05,
+                "rate {rate}: empirical mean gap {empirical_gap:.1} deviates \
+                 {:.1}% from configured {configured_gap:.1}",
+                100.0 * err
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_decode_fraction_converges_to_the_configured_mix() {
+        for (fraction, seed) in [(0.7f64, 3u64), (0.2, 41), (0.95, 8)] {
+            let mut cfg = TraceConfig::new(4000, 50.0, seed);
+            cfg.decode_fraction = fraction;
+            let trace = RequestTrace::generate(&cfg);
+            let empirical = trace.decode_fraction();
+            assert!(
+                (empirical - fraction).abs() < 0.03,
+                "decode fraction {empirical} should converge to {fraction}"
+            );
+        }
+        // Degenerate mixes are exact, not just convergent.
+        let mut cfg = TraceConfig::new(200, 50.0, 1);
+        cfg.decode_fraction = 0.0;
+        assert_eq!(RequestTrace::generate(&cfg).decode_fraction(), 0.0);
+        cfg.decode_fraction = 1.0;
+        assert_eq!(RequestTrace::generate(&cfg).decode_fraction(), 1.0);
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical_request_by_request() {
+        // Beyond whole-struct equality: every field of every request agrees,
+        // and the equality survives a change of an unrelated config clone.
+        let cfg = TraceConfig::new(256, 120.0, 0xDEC0DE);
+        let a = RequestTrace::generate(&cfg);
+        let b = RequestTrace::generate(&cfg.clone());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival_cycle, y.arrival_cycle);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.queries, y.queries);
+            assert_eq!(x.seq_len, y.seq_len);
+            assert_eq!(x.hidden, y.hidden);
+            assert_eq!(x.heads, y.heads);
+            assert!((x.keep_ratio - y.keep_ratio).abs() == 0.0);
+        }
+    }
+
+    #[test]
     fn rate_controls_the_span() {
         let slow = RequestTrace::generate(&TraceConfig::new(200, 5.0, 1));
         let fast = RequestTrace::generate(&TraceConfig::new(200, 500.0, 1));

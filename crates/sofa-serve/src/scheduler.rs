@@ -187,11 +187,12 @@ impl ServeSim {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
         let mut csim = CycleSim::new(self.cfg.hw);
         csim.params = self.cfg.sim;
-        let lowered: Vec<Lowered> = trace
-            .requests
-            .iter()
-            .map(|spec| self.lower(&csim, spec))
-            .collect();
+        // Lowering a request (descriptor generation + per-tile cycle
+        // apportioning) is a pure function of the spec, so the whole trace
+        // fans out across cores before the serial event loop; order is
+        // preserved, so the simulation is oblivious to the thread count.
+        let lowered: Vec<Lowered> =
+            sofa_par::par_map(&trace.requests, |spec| self.lower(&csim, spec));
 
         let n = self.cfg.instances;
         let mut msim = MultiPipelineSim::new(&self.cfg.hw, n, self.cfg.sim);

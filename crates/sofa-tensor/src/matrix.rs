@@ -40,6 +40,22 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix in place to `rows × cols` with every entry reset
+    /// to zero, reusing the existing allocation when it is large enough —
+    /// the scratch-buffer primitive batched pipeline runs use to avoid one
+    /// allocation per workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Creates a matrix whose `(i, j)` entry is `f(i, j)`.
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
         let mut m = Matrix::zeros(rows, cols);
@@ -377,6 +393,18 @@ impl std::fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_zeros_matches_fresh_allocation_across_reshapes() {
+        let mut m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 + 1.0);
+        m.reset_zeros(2, 5);
+        assert_eq!(m, Matrix::zeros(2, 5), "shrink must zero every entry");
+        m.set(1, 4, 7.0);
+        m.reset_zeros(4, 6);
+        assert_eq!(m, Matrix::zeros(4, 6), "grow must zero every entry");
+        m.reset_zeros(0, 0);
+        assert!(m.is_empty());
+    }
 
     #[test]
     fn zeros_and_shape() {

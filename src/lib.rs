@@ -3,6 +3,8 @@
 //! Re-exports every layer so downstream code (and the examples/tests in this
 //! package) can reach the whole stack through one dependency:
 //!
+//! * [`par`] — deterministic scoped data-parallelism (`par_map`,
+//!   `par_chunks`, `join`) controlled by `SOFA_THREADS`.
 //! * [`tensor`] — matrices, softmax, fixed-point and deterministic RNG.
 //! * [`model`] — workload shapes, score distributions, benchmark suite.
 //! * [`core`] — the SOFA algorithms (DLZS, SADS, SU-FA, pipeline, DSE).
@@ -18,6 +20,7 @@ pub use sofa_bench as bench;
 pub use sofa_core as core;
 pub use sofa_hw as hw;
 pub use sofa_model as model;
+pub use sofa_par as par;
 pub use sofa_serve as serve;
 pub use sofa_sim as sim;
 pub use sofa_tensor as tensor;

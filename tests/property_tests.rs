@@ -181,6 +181,89 @@ proptest! {
         prop_assert!(mask.keep_ratio() <= 1.0 + 1e-9);
     }
 
+    // ---------------- parallel-engine differentials ----------------
+
+    #[test]
+    fn parallel_run_batch_is_bit_identical_to_sequential_runs(
+        num_workloads in 1usize..6,
+        seed in 0u64..500,
+        keep in 1usize..4,
+    ) {
+        use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
+        use sofa_model::{AttentionWorkload, ScoreDistribution};
+
+        let dists = [
+            ScoreDistribution::bert_like(),
+            ScoreDistribution::gpt_like(),
+            ScoreDistribution::llama_like(),
+        ];
+        let workloads: Vec<AttentionWorkload> = (0..num_workloads)
+            .map(|i| {
+                let s = 64 + 32 * (i % 3);
+                AttentionWorkload::generate(
+                    &dists[i % dists.len()], 4 + i, s, 32, 16, seed + i as u64,
+                )
+            })
+            .collect();
+        let pipeline =
+            SofaPipeline::new(PipelineConfig::new(keep as f64 * 0.2, 16).unwrap());
+        let solo: Vec<_> = workloads.iter().map(|w| pipeline.run(w)).collect();
+        for threads in [1usize, 2, 8] {
+            let batch =
+                sofa_par::with_threads(threads, || pipeline.run_batch(&workloads));
+            prop_assert_eq!(batch.len(), solo.len());
+            for (b, s) in batch.iter().zip(solo.iter()) {
+                // Bit-for-bit: outputs, masks and every per-stage counter.
+                prop_assert_eq!(&b.output, &s.output, "threads={}", threads);
+                prop_assert_eq!(&b.mask, &s.mask, "threads={}", threads);
+                prop_assert_eq!(b.prediction, s.prediction, "threads={}", threads);
+                prop_assert_eq!(b.sorting_ops, s.sorting_ops, "threads={}", threads);
+                prop_assert_eq!(
+                    b.kv_generation_ops, s.kv_generation_ops, "threads={}", threads
+                );
+                prop_assert_eq!(b.formal_ops, s.formal_ops, "threads={}", threads);
+                prop_assert_eq!(b.keys_generated, s.keys_generated, "threads={}", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_sim_with_one_instance_reproduces_cyclesim_cycle_for_cycle(
+        queries in 1usize..24,
+        seq_tiles in 1usize..12,
+        keep_pct in 5u32..100,
+        tile_pow in 4u32..7,
+    ) {
+        use sofa_hw::accel::AttentionTask;
+        use sofa_hw::config::HwConfig;
+        use sofa_sim::{CycleSim, MultiPipelineSim};
+
+        let bc = 1usize << tile_pow;
+        let task = AttentionTask::new(
+            queries,
+            seq_tiles * bc,
+            128,
+            2,
+            keep_pct as f64 / 100.0,
+            bc,
+        );
+        let sim = CycleSim::new(HwConfig::small());
+        let single = sim.run(&task);
+        let mut multi = MultiPipelineSim::new(sim.accel.config(), 1, sim.params);
+        multi.submit(0, 0, &sim.job(&task, None), 0);
+        let done = multi.run_to_idle();
+        let report = multi.report();
+        // Cycle-for-cycle equivalence: same end-to-end cycles, same per-stage
+        // busy/stall accounting, same DRAM traffic and channel occupancy.
+        prop_assert_eq!(report.total_cycles, single.total_cycles);
+        prop_assert_eq!(report.instances[0].stages, single.stages);
+        prop_assert_eq!(report.dram.bytes_read, single.dram.bytes_read);
+        prop_assert_eq!(report.dram.bytes_written, single.dram.bytes_written);
+        prop_assert_eq!(report.dram.busy_cycles, single.dram.busy_cycles);
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(done[0].1.request, 0);
+    }
+
     // ---------------- serving invariants ----------------
 
     #[test]
