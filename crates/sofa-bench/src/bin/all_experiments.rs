@@ -28,6 +28,8 @@ fn main() {
         e::ablation_rass,
         e::sim_cycle_vs_analytic,
         e::sim_stall_breakdown,
+        e::dse_pareto,
+        e::dse_serve_ab,
     ];
     for table in sofa_par::par_map(&experiments, |run| run()) {
         table.print();

@@ -7,7 +7,12 @@
 //!    two share engine throughput models and traffic volumes, so divergence
 //!    there means a simulator or model regression, not a modelling choice
 //!    (memory-bound configurations are expected to diverge and are skipped);
-//! 2. any smoke experiment panics or produces an empty table.
+//! 2. any smoke experiment panics or produces an empty table;
+//! 3. the hardware-aware DSE regresses: the Pareto front comes back empty,
+//!    no tuned configuration strictly dominates the paper-default operating
+//!    point on (cycles, energy) at equal-or-better loss, or two runs of the
+//!    pinned search disagree (the search must be deterministic — it is what
+//!    the golden `dse_pareto.json` snapshot and the serving A/B consume).
 //!
 //! Run locally with `cargo run -p sofa-bench --bin check_regression`.
 
@@ -75,6 +80,37 @@ fn main() -> ExitCode {
             Ok(_) => println!("ok: {name}"),
             Err(_) => failures.push(format!("{name} panicked")),
         }
+    }
+
+    // Gate 3 — the hardware-aware DSE must produce a non-empty Pareto front
+    // that beats the paper default, deterministically across runs.
+    match catch_unwind(|| {
+        (
+            experiments::dse_pareto_report(),
+            experiments::dse_pareto_report(),
+        )
+    }) {
+        Ok((first, second)) => {
+            if first != second {
+                failures.push("dse_pareto is non-deterministic across two runs".into());
+            }
+            if first.pareto.is_empty() {
+                failures.push("dse_pareto produced an empty Pareto front".into());
+            } else if first.dominating().is_empty() {
+                failures.push(
+                    "dse_pareto front is dominated by the paper default: no tuned config \
+                     beats it on (cycles, energy) at equal-or-better loss"
+                        .into(),
+                );
+            } else {
+                println!(
+                    "ok: dse_pareto ({} Pareto points, {} strictly dominate the default)",
+                    first.pareto.len(),
+                    first.dominating().len()
+                );
+            }
+        }
+        Err(_) => failures.push("dse_pareto panicked".into()),
     }
 
     if failures.is_empty() {

@@ -17,9 +17,10 @@
 //! Supporting modules: [`lze`] (leading-zero encoding), [`topk`] (exact
 //! baselines and masks), [`flash`] (FlashAttention-1/2 references), [`ops`]
 //! (operation accounting with the arithmetic-complexity model), [`pipeline`]
-//! (the end-to-end cross-stage tiled dataflow), [`accuracy`] (accuracy-proxy
-//! evaluation) and [`dse`] (Bayesian design-space exploration of tile sizes
-//! and top-k, paper §III-D).
+//! (the end-to-end cross-stage tiled dataflow) and [`accuracy`]
+//! (accuracy-proxy evaluation). The design-space exploration of tile sizes
+//! and top-k (paper §III-D) lives in the `sofa-dse` crate, which closes the
+//! search loop against the hardware models and the cycle simulator.
 //!
 //! # Example
 //!
@@ -36,7 +37,6 @@
 
 pub mod accuracy;
 pub mod dlzs;
-pub mod dse;
 pub mod flash;
 pub mod lze;
 pub mod ops;

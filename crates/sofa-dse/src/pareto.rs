@@ -1,0 +1,135 @@
+//! Pareto-front extraction over `(loss, cycles, energy, area)` metric
+//! vectors, with deterministic dedup and ordering.
+
+use crate::eval::CandidateEval;
+
+/// Extracts the non-dominated subset of `evals`.
+///
+/// * **Dedup** — repeated evaluations of the same candidate (the Bayesian
+///   searches may revisit points, and several scalarization profiles share
+///   probes) collapse to one entry.
+/// * **Dominance** — an entry survives iff no other entry's metric vector
+///   [`dominates`](crate::MetricVector::dominates) it; incomparable ties
+///   (equal vectors on distinct candidates included) all survive.
+/// * **Ordering** — the front is sorted by the total order
+///   `(loss, cycles, energy, area, keep ratio bits, tile sizes)`, so the
+///   output is identical regardless of input order or thread count.
+pub fn pareto_front(evals: &[CandidateEval]) -> Vec<CandidateEval> {
+    // Dedup by candidate, keeping the first occurrence (evaluation is a pure
+    // function of the candidate, so duplicates carry identical metrics).
+    let mut unique: Vec<&CandidateEval> = Vec::with_capacity(evals.len());
+    for e in evals {
+        if !unique.iter().any(|u| u.candidate == e.candidate) {
+            unique.push(e);
+        }
+    }
+    let mut front: Vec<CandidateEval> = unique
+        .iter()
+        .filter(|e| {
+            !unique
+                .iter()
+                .any(|other| other.metrics.dominates(&e.metrics))
+        })
+        .map(|e| (*e).clone())
+        .collect();
+    front.sort_by(|a, b| {
+        a.metrics
+            .order_key()
+            .cmp(&b.metrics.order_key())
+            .then_with(|| a.candidate.order_key().cmp(&b.candidate.order_key()))
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MetricVector;
+    use crate::space::DseCandidate;
+
+    fn entry(
+        keep: f64,
+        bc: usize,
+        loss: f64,
+        cycles: u64,
+        energy: f64,
+        area: f64,
+    ) -> CandidateEval {
+        CandidateEval {
+            candidate: DseCandidate {
+                keep_ratio: keep,
+                tile_sizes: vec![bc, bc],
+            },
+            metrics: MetricVector {
+                loss,
+                cycles,
+                energy_pj: energy,
+                area_mm2: area,
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let good = entry(0.2, 16, 0.1, 100, 50.0, 5.0);
+        let dominated = entry(0.3, 16, 0.2, 200, 80.0, 6.0);
+        let trade_off = entry(0.1, 8, 0.3, 50, 20.0, 4.0);
+        let front = pareto_front(&[dominated.clone(), good.clone(), trade_off.clone()]);
+        assert_eq!(front.len(), 2);
+        assert!(front.contains(&good));
+        assert!(front.contains(&trade_off));
+        assert!(!front.contains(&dominated));
+    }
+
+    #[test]
+    fn duplicate_candidates_collapse_to_one() {
+        let a = entry(0.2, 16, 0.1, 100, 50.0, 5.0);
+        let front = pareto_front(&[a.clone(), a.clone(), a.clone()]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn incomparable_equal_vectors_on_distinct_candidates_both_survive() {
+        let a = entry(0.2, 16, 0.1, 100, 50.0, 5.0);
+        let b = entry(0.2, 8, 0.1, 100, 50.0, 5.0);
+        let front = pareto_front(&[a, b]);
+        assert_eq!(front.len(), 2, "equal vectors do not dominate each other");
+    }
+
+    #[test]
+    fn ordering_is_deterministic_and_input_order_independent() {
+        let points = vec![
+            entry(0.1, 8, 0.3, 50, 20.0, 4.0),
+            entry(0.2, 16, 0.1, 100, 50.0, 5.0),
+            entry(0.3, 4, 0.05, 300, 90.0, 3.0),
+        ];
+        let forward = pareto_front(&points);
+        let mut reversed = points.clone();
+        reversed.reverse();
+        assert_eq!(forward, pareto_front(&reversed));
+        // Sorted ascending by loss first.
+        let losses: Vec<f64> = forward.iter().map(|e| e.metrics.loss).collect();
+        let mut sorted = losses.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(losses, sorted);
+    }
+
+    #[test]
+    fn single_point_and_empty_inputs() {
+        assert!(pareto_front(&[]).is_empty());
+        let only = entry(0.2, 16, 0.1, 100, 50.0, 5.0);
+        assert_eq!(pareto_front(std::slice::from_ref(&only)), vec![only]);
+    }
+
+    #[test]
+    fn metric_tie_breaks_on_candidate_key() {
+        // Same metrics, different candidates: order must follow the candidate
+        // key (keep ratio bits, then tiles), not input order.
+        let a = entry(0.3, 4, 0.1, 100, 50.0, 5.0);
+        let b = entry(0.2, 8, 0.1, 100, 50.0, 5.0);
+        let front = pareto_front(&[a.clone(), b.clone()]);
+        assert_eq!(front, vec![b.clone(), a.clone()]);
+        let front2 = pareto_front(&[b.clone(), a.clone()]);
+        assert_eq!(front, front2);
+    }
+}

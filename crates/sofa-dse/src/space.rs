@@ -1,0 +1,217 @@
+//! The discrete design space of per-layer tile sizes and the keep ratio
+//! (paper §III-D), plus the analytic penalty terms the proxy-mode search
+//! combines with a measured loss.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The discrete search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseSpace {
+    /// Candidate tile sizes `Bc` (paper: 2..=32, step 2).
+    pub tile_options: Vec<usize>,
+    /// Candidate keep ratios (paper: 5 %..=50 %, step 5 %).
+    pub keep_options: Vec<f64>,
+    /// Number of Transformer layers (one tile size chosen per layer).
+    pub layers: usize,
+    /// Sequence length the penalties are computed against.
+    pub seq_len: usize,
+}
+
+impl DseSpace {
+    /// The paper's search space for a model with `layers` layers at `seq_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `seq_len == 0`.
+    pub fn paper_space(layers: usize, seq_len: usize) -> Self {
+        assert!(
+            layers > 0 && seq_len > 0,
+            "layers and seq_len must be positive"
+        );
+        DseSpace {
+            tile_options: (1..=16).map(|i| i * 2).collect(),
+            keep_options: (1..=10).map(|i| i as f64 * 0.05).collect(),
+            layers,
+            seq_len,
+        }
+    }
+
+    /// The paper's default operating point inside this space: keep ratio 25 %
+    /// and tile size 16 on every layer — the configuration the rest of the
+    /// workspace (pipeline defaults, hardware experiments) runs at, and the
+    /// baseline a hardware-aware search must beat.
+    pub fn paper_default_candidate(&self) -> DseCandidate {
+        DseCandidate {
+            keep_ratio: 0.25,
+            tile_sizes: vec![16; self.layers],
+        }
+    }
+
+    /// Total number of configurations in the space.
+    pub fn cardinality(&self) -> f64 {
+        self.keep_options.len() as f64 * (self.tile_options.len() as f64).powi(self.layers as i32)
+    }
+
+    /// Samples one random candidate.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> DseCandidate {
+        DseCandidate {
+            keep_ratio: self.keep_options[rng.gen_range(0..self.keep_options.len())],
+            tile_sizes: (0..self.layers)
+                .map(|_| self.tile_options[rng.gen_range(0..self.tile_options.len())])
+                .collect(),
+        }
+    }
+
+    /// Encodes a candidate as a normalised feature vector for the surrogate.
+    pub(crate) fn encode(&self, c: &DseCandidate) -> Vec<f64> {
+        let kmax = *self
+            .keep_options
+            .last()
+            .expect("keep options must not be empty");
+        let bmax = *self
+            .tile_options
+            .last()
+            .expect("tile options must not be empty") as f64;
+        let mut v = Vec::with_capacity(1 + c.tile_sizes.len());
+        v.push(c.keep_ratio / kmax);
+        for &b in &c.tile_sizes {
+            v.push(b as f64 / bmax);
+        }
+        v
+    }
+}
+
+/// One point of the design space: a keep ratio plus per-layer tile sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseCandidate {
+    /// Top-k keep ratio shared by all layers.
+    pub keep_ratio: f64,
+    /// Tile size `Bc` per layer.
+    pub tile_sizes: Vec<usize>,
+}
+
+impl DseCandidate {
+    /// Sorting-cost penalty `L_cmp = Σ (Bcᵢ·k) / Σ (S·k) = mean(Bcᵢ)/S`.
+    pub fn penalty_cmp(&self, seq_len: usize) -> f64 {
+        if self.tile_sizes.is_empty() {
+            return 0.0;
+        }
+        let mean_bc: f64 =
+            self.tile_sizes.iter().map(|&b| b as f64).sum::<f64>() / self.tile_sizes.len() as f64;
+        mean_bc / seq_len as f64
+    }
+
+    /// Tile-synchronisation penalty `L_exp = Σ (S / Bcᵢ)`, normalised by the
+    /// worst case (`layers · S / min_bc = layers · S / 2`) so it is
+    /// commensurable with the loss term.
+    pub fn penalty_exp(&self, seq_len: usize) -> f64 {
+        if self.tile_sizes.is_empty() {
+            return 0.0;
+        }
+        let raw: f64 = self
+            .tile_sizes
+            .iter()
+            .map(|&b| seq_len as f64 / b.max(1) as f64)
+            .sum();
+        let worst = self.tile_sizes.len() as f64 * seq_len as f64 / 2.0;
+        raw / worst
+    }
+
+    /// The tile size a single-tile-size consumer (e.g. the serving layer,
+    /// which lowers every request with one `Bc`) should run this candidate
+    /// at: the lower median of the per-layer tile sizes. Deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate has no layers.
+    pub fn median_tile_size(&self) -> usize {
+        assert!(!self.tile_sizes.is_empty(), "candidate has no layers");
+        let mut tiles = self.tile_sizes.clone();
+        tiles.sort_unstable();
+        tiles[(tiles.len() - 1) / 2]
+    }
+
+    /// A total-order sort key over candidates (keep ratio bits, then the
+    /// tile-size vector) used for deterministic tie-breaking.
+    pub(crate) fn order_key(&self) -> (u64, &[usize]) {
+        (self.keep_ratio.to_bits(), &self.tile_sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_tensor::seeded_rng;
+
+    #[test]
+    fn space_cardinality_is_huge_for_deep_models() {
+        let space = DseSpace::paper_space(12, 512);
+        assert!(space.cardinality() > 1e14, "got {}", space.cardinality());
+    }
+
+    #[test]
+    fn penalties_behave_monotonically() {
+        let small = DseCandidate {
+            keep_ratio: 0.2,
+            tile_sizes: vec![2, 2],
+        };
+        let large = DseCandidate {
+            keep_ratio: 0.2,
+            tile_sizes: vec![32, 32],
+        };
+        // Larger tiles → more sorting cost, fewer synchronisations.
+        assert!(large.penalty_cmp(512) > small.penalty_cmp(512));
+        assert!(large.penalty_exp(512) < small.penalty_exp(512));
+        assert!(small.penalty_exp(512) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn paper_default_sits_inside_the_space() {
+        let space = DseSpace::paper_space(6, 1024);
+        let d = space.paper_default_candidate();
+        assert_eq!(d.tile_sizes, vec![16; 6]);
+        assert!(space.tile_options.contains(&16));
+        assert!(space
+            .keep_options
+            .iter()
+            .any(|&k| (k - d.keep_ratio).abs() < 1e-12));
+    }
+
+    #[test]
+    fn samples_stay_inside_the_space() {
+        let space = DseSpace::paper_space(4, 512);
+        let mut rng = seeded_rng(1);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert_eq!(c.tile_sizes.len(), 4);
+            assert!(c.tile_sizes.iter().all(|b| space.tile_options.contains(b)));
+            assert!(space
+                .keep_options
+                .iter()
+                .any(|&k| (k - c.keep_ratio).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn median_tile_size_is_the_lower_median() {
+        let c = DseCandidate {
+            keep_ratio: 0.25,
+            tile_sizes: vec![32, 2, 8, 16],
+        };
+        assert_eq!(c.median_tile_size(), 8);
+        let odd = DseCandidate {
+            keep_ratio: 0.25,
+            tile_sizes: vec![4, 32, 8],
+        };
+        assert_eq!(odd.median_tile_size(), 8);
+    }
+
+    #[test]
+    fn encode_normalises_into_unit_range() {
+        let space = DseSpace::paper_space(3, 256);
+        let v = space.encode(&space.paper_default_candidate());
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+}

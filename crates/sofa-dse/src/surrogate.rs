@@ -1,0 +1,212 @@
+//! The Gaussian-process surrogate (RBF kernel) and expected-improvement
+//! acquisition shared by the proxy-mode search ([`crate::search`]) and the
+//! hardware-aware scalarized search ([`crate::report`]).
+
+/// A minimal Gaussian process with an RBF kernel used as the DSE surrogate.
+#[derive(Debug, Clone)]
+pub(crate) struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Vec<Vec<f64>>,
+    length_scale: f64,
+    noise: f64,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+        let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-d2 / (2.0 * length_scale * length_scale)).exp()
+    }
+
+    /// Fits the GP to observations `(xs, ys)`.
+    pub(crate) fn fit(xs: Vec<Vec<f64>>, ys: &[f64], length_scale: f64, noise: f64) -> Self {
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n.max(1) as f64;
+        // K + σ²I
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = Self::rbf(&xs[i], &xs[j], length_scale);
+            }
+            k[i][i] += noise;
+        }
+        let chol = cholesky(&k);
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let alpha = cholesky_solve(&chol, &centered);
+        GaussianProcess {
+            xs,
+            alpha,
+            chol,
+            length_scale,
+            noise,
+            y_mean,
+        }
+    }
+
+    /// Posterior mean and standard deviation at `x`.
+    pub(crate) fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kx: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| Self::rbf(xi, x, self.length_scale))
+            .collect();
+        let mean = self.y_mean
+            + kx.iter()
+                .zip(self.alpha.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        // var = k(x,x) + σ² − vᵀv with v = L⁻¹ kx
+        let v = forward_substitute(&self.chol, &kx);
+        let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var.sqrt())
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+fn cholesky(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for (lik, ljk) in l[i][..j].iter().zip(&l[j][..j]) {
+                sum -= lik * ljk;
+            }
+            if i == j {
+                l[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    l
+}
+
+/// Solves `L y = b` (forward substitution).
+fn forward_substitute(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    y
+}
+
+/// Solves `(L Lᵀ) x = b` given the Cholesky factor `L`.
+fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let y = forward_substitute(l, b);
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Standard normal PDF.
+fn norm_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF (Abramowitz–Stegun approximation).
+fn norm_cdf(z: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let cdf = 1.0 - norm_pdf(z.abs()) * poly;
+    if z >= 0.0 {
+        cdf
+    } else {
+        1.0 - cdf
+    }
+}
+
+/// Expected improvement of a (minimisation) candidate with posterior
+/// `(mean, std)` over the incumbent `best`.
+pub(crate) fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * norm_cdf(z) + std * norm_pdf(z)
+}
+
+/// RBF length scale of the DSE surrogate (features are `encode`-normalised
+/// into the unit cube, so one scale fits both search modes).
+const GP_LENGTH_SCALE: f64 = 0.35;
+
+/// Observation-noise term added to the GP kernel diagonal.
+const GP_NOISE: f64 = 1e-4;
+
+/// One surrogate-guided proposal step shared by the proxy-mode search and
+/// the hardware-aware scalarized search: fit the GP to the observations so
+/// far, score `acquisition_candidates` random samples (at least 8) by
+/// expected improvement over the incumbent minimum, and return the winner.
+pub(crate) fn propose_next(
+    space: &crate::space::DseSpace,
+    observed_x: &[Vec<f64>],
+    observed_y: &[f64],
+    acquisition_candidates: usize,
+    rng: &mut rand_chacha::ChaCha8Rng,
+) -> crate::space::DseCandidate {
+    let gp = GaussianProcess::fit(observed_x.to_vec(), observed_y, GP_LENGTH_SCALE, GP_NOISE);
+    let incumbent = observed_y.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut best: Option<(f64, crate::space::DseCandidate)> = None;
+    for _ in 0..acquisition_candidates.max(8) {
+        let c = space.sample(rng);
+        let (mean, std) = gp.predict(&space.encode(&c));
+        let ei = expected_improvement(mean, std, incumbent);
+        if best.as_ref().is_none_or(|(b, _)| ei > *b) {
+            best = Some((ei, c));
+        }
+    }
+    best.expect("acquisition candidates > 0").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, 0.0, 1.0];
+        let gp = GaussianProcess::fit(xs, &ys, 0.3, 1e-6);
+        let (m, s) = gp.predict(&[0.5]);
+        assert!((m - 0.0).abs() < 0.05, "mean at observed point: {m}");
+        assert!(
+            s < 0.1,
+            "uncertainty at observed point should be small: {s}"
+        );
+        let (_, s_far) = gp.predict(&[2.5]);
+        assert!(s_far > s, "uncertainty should grow away from data");
+    }
+
+    #[test]
+    fn cdf_and_pdf_sanity() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(norm_cdf(3.0) > 0.99);
+        assert!(norm_cdf(-3.0) < 0.01);
+        assert!(norm_pdf(0.0) > norm_pdf(1.0));
+    }
+
+    #[test]
+    fn expected_improvement_prefers_low_mean_and_high_std() {
+        let a = expected_improvement(0.5, 0.1, 1.0);
+        let b = expected_improvement(0.9, 0.1, 1.0);
+        assert!(a > b);
+        let c = expected_improvement(1.0, 0.5, 1.0);
+        let d = expected_improvement(1.0, 0.01, 1.0);
+        assert!(c > d);
+    }
+}

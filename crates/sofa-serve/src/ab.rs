@@ -1,0 +1,140 @@
+//! Serving a trace under a DSE-tuned operating point, side by side with the
+//! paper default.
+//!
+//! `sofa-dse`'s [`DseReport`] recommends one `(keep ratio, tile size)`
+//! operating point ([`DseReport::tuned_operating_point`]). This module makes
+//! that report directly consumable by the serving layer:
+//! [`ServeSim::run_ab`] serves the *same* request trace twice — once with
+//! the scheduler's own configuration and the trace's native keep ratios
+//! (the paper-default deployment), once re-lowered at the tuned point — and
+//! returns both reports so latency percentiles, throughput and queueing can
+//! be compared request for request.
+
+use crate::report::ServeReport;
+use crate::scheduler::ServeSim;
+use sofa_dse::DseReport;
+use sofa_model::trace::RequestTrace;
+
+/// The two serving outcomes of one [`ServeSim::run_ab`] call, plus the tuned
+/// operating point that produced the B side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseServeComparison {
+    /// The trace served with the scheduler's configuration as-is.
+    pub baseline: ServeReport,
+    /// The trace re-lowered at the tuned keep ratio / tile size.
+    pub tuned: ServeReport,
+    /// Keep ratio every request was re-lowered with.
+    pub tuned_keep_ratio: f64,
+    /// Tile size the tuned run was lowered with.
+    pub tuned_tile_size: usize,
+}
+
+impl DseServeComparison {
+    /// Tail-latency gain of the tuned configuration (`baseline p95 /
+    /// tuned p95`; > 1 means the tuned point is faster).
+    pub fn p95_gain(&self) -> f64 {
+        self.baseline.p95() as f64 / self.tuned.p95().max(1) as f64
+    }
+
+    /// Makespan gain of the tuned configuration (> 1 means faster).
+    pub fn makespan_gain(&self) -> f64 {
+        self.baseline.total_cycles as f64 / self.tuned.total_cycles.max(1) as f64
+    }
+}
+
+impl ServeSim {
+    /// Serves `trace` with every request's keep ratio overridden to `keep`
+    /// and the lowering tile size set to `tile_size`; everything else (HW,
+    /// instances, admission policy) comes from this scheduler's config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is outside `(0, 1]` or `tile_size` is zero (the
+    /// rebuilt configuration fails validation), or if `trace` is empty.
+    pub fn run_tuned(&self, trace: &RequestTrace, keep: f64, tile_size: usize) -> ServeReport {
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "tuned keep ratio out of range: {keep}"
+        );
+        let mut cfg = *self.config();
+        cfg.tile_size = tile_size;
+        let mut tuned_trace = trace.clone();
+        for spec in &mut tuned_trace.requests {
+            spec.keep_ratio = keep;
+        }
+        ServeSim::new(cfg).run(&tuned_trace)
+    }
+
+    /// Serves `trace` twice — as configured, and at `dse`'s tuned operating
+    /// point — and returns both reports for side-by-side comparison.
+    pub fn run_ab(&self, trace: &RequestTrace, dse: &DseReport) -> DseServeComparison {
+        let (keep, tile) = dse.tuned_operating_point();
+        DseServeComparison {
+            baseline: self.run(trace),
+            tuned: self.run_tuned(trace, keep, tile),
+            tuned_keep_ratio: keep,
+            tuned_tile_size: tile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+    use sofa_hw::config::HwConfig;
+    use sofa_model::trace::TraceConfig;
+
+    fn trace(n: usize, seed: u64) -> RequestTrace {
+        let mut tc = TraceConfig::new(n, 80.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        RequestTrace::generate(&tc)
+    }
+
+    fn smoke_dse(seed: u64) -> DseReport {
+        let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+        hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed))
+    }
+
+    #[test]
+    fn tuned_run_overrides_every_request() {
+        let sim = ServeSim::new(ServeConfig::new(HwConfig::small(), 1));
+        let t = trace(8, 3);
+        let tuned = sim.run_tuned(&t, 0.1, 64);
+        assert_eq!(tuned.records.len(), 8);
+        // A 10% keep ratio books smaller footprints than the trace's native
+        // 25%-ish ratios under measured-footprint admission.
+        let base = sim.run(&t);
+        let sum = |r: &ServeReport| r.records.iter().map(|x| x.footprint_bytes).sum::<u64>();
+        assert!(sum(&tuned) < sum(&base));
+    }
+
+    #[test]
+    fn ab_comparison_is_deterministic_and_complete() {
+        let sim = ServeSim::new(ServeConfig::new(HwConfig::small(), 2));
+        let t = trace(10, 7);
+        let dse = smoke_dse(7);
+        let a = sim.run_ab(&t, &dse);
+        let b = sim.run_ab(&t, &dse);
+        assert_eq!(a, b);
+        assert_eq!(a.baseline.records.len(), 10);
+        assert_eq!(a.tuned.records.len(), 10);
+        assert_eq!(
+            (a.tuned_keep_ratio, a.tuned_tile_size),
+            dse.tuned_operating_point()
+        );
+        assert!(a.p95_gain() > 0.0);
+        assert!(a.makespan_gain() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio out of range")]
+    fn invalid_tuned_keep_panics() {
+        let sim = ServeSim::new(ServeConfig::new(HwConfig::small(), 1));
+        let _ = sim.run_tuned(&trace(4, 1), 0.0, 32);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`report`] — [`ServeReport`]: per-request latency percentiles
 //!   (p50/p95/p99), queueing delay, per-instance utilization, DRAM-sharing
 //!   statistics.
+//! * [`ab`] — [`DseServeComparison`]: serve the same trace with a DSE-tuned
+//!   `(keep ratio, tile size)` operating point (`sofa_dse::DseReport`) next
+//!   to the paper default, for side-by-side latency/throughput comparison.
 //!
 //! # Example
 //!
@@ -33,8 +36,10 @@
 //! assert!(report.p99() >= report.p50());
 //! ```
 
+pub mod ab;
 pub mod report;
 pub mod scheduler;
 
+pub use ab::DseServeComparison;
 pub use report::{RequestRecord, ServeReport};
 pub use scheduler::{AdmitPolicy, ServeConfig, ServeSim};

@@ -7,8 +7,13 @@
 //! ports, so one channel arbitrates across all concurrent requests. Requests
 //! queue per requester port; when the channel is free the next request is
 //! chosen round-robin across ports, occupies the channel for
-//! `bytes / bytes_per_cycle` and delivers its data one burst latency later
-//! (the latency of later bursts pipelines behind the first).
+//! `command_cycles + bytes / bytes_per_cycle` and delivers its data one
+//! burst latency later (the latency of later bursts pipelines behind the
+//! first). `command_cycles` models the row-activation/command serialisation
+//! a request pays regardless of its size — zero by default (the classic
+//! bandwidth-only channel), nonzero when a consumer wants many small
+//! scattered requests to cost real channel time, as the hardware-aware DSE
+//! evaluator does.
 //!
 //! On top of plain round-robin the channel supports **priority aging**
 //! ([`DramChannel::with_aging`]): a request whose queueing delay exceeds the
@@ -59,6 +64,10 @@ pub struct DramChannel {
     bytes_per_cycle: f64,
     /// Fixed latency from issue to first data beat (cycles).
     burst_latency: u64,
+    /// Channel cycles a request occupies beyond its transfer (row
+    /// activation / command serialisation); zero for the classic
+    /// bandwidth-only channel.
+    command_cycles: u64,
     /// Queueing delay beyond which a request overrides round-robin
     /// (`u64::MAX` disables aging).
     age_threshold: u64,
@@ -97,11 +106,29 @@ impl DramChannel {
         burst_latency: u64,
         age_threshold: u64,
     ) -> Self {
+        Self::with_timing(ports, bytes_per_cycle, burst_latency, age_threshold, 0)
+    }
+
+    /// Creates a channel with full timing control: aging arbitration plus a
+    /// per-request command occupancy of `command_cycles` (the channel is
+    /// held for `command_cycles + transfer` per request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive or `ports` is zero.
+    pub fn with_timing(
+        ports: usize,
+        bytes_per_cycle: f64,
+        burst_latency: u64,
+        age_threshold: u64,
+        command_cycles: u64,
+    ) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
         assert!(ports > 0, "need at least one port");
         DramChannel {
             bytes_per_cycle,
             burst_latency,
+            command_cycles,
             age_threshold,
             queues: (0..ports).map(|_| VecDeque::new()).collect(),
             next_port: 0,
@@ -163,7 +190,8 @@ impl DramChannel {
         let port = pick?;
         let (req, enqueued_at) = self.queues[port].pop_front().expect("picked port has work");
         self.next_port = (port + 1) % ports;
-        let transfer = (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        let transfer =
+            self.command_cycles + (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
         self.busy = true;
         self.busy_cycles += transfer;
         self.queue_wait_cycles += now.saturating_sub(enqueued_at);
@@ -242,6 +270,20 @@ mod tests {
         assert_eq!(issued.done_at, 200, "plus one burst latency");
         assert_eq!(ch.busy_cycles(), 100);
         assert_eq!(ch.bytes_read(), 6400);
+    }
+
+    #[test]
+    fn command_cycles_occupy_the_channel_per_request() {
+        let mut ch = DramChannel::with_timing(2, 64.0, 100, u64::MAX, 30);
+        ch.enqueue(req(0, 0, 6400), 0);
+        let issued = ch.try_issue(0).unwrap();
+        assert_eq!(issued.free_at, 130, "30 command + 100 transfer");
+        assert_eq!(issued.done_at, 230, "plus one burst latency");
+        assert_eq!(ch.busy_cycles(), 130);
+        // The default constructors keep the classic bandwidth-only channel.
+        let mut classic = DramChannel::new(2, 64.0, 100);
+        classic.enqueue(req(0, 0, 6400), 0);
+        assert_eq!(classic.try_issue(0).unwrap().free_at, 100);
     }
 
     #[test]

@@ -179,11 +179,12 @@ impl MultiPipelineSim {
                 .map(|_| Instance::new(params.buffer_depth))
                 .collect(),
             queue: EventQueue::new(),
-            dram: DramChannel::with_aging(
+            dram: DramChannel::with_timing(
                 instances * STAGES,
                 bytes_per_cycle,
                 params.burst_latency,
                 params.dram_age_threshold,
+                params.dram_command_cycles,
             ),
             end_time: 0,
             requests_completed: vec![0; instances],

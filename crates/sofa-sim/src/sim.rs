@@ -52,6 +52,11 @@ pub struct SimParams {
     /// relevant to multi-instance simulation, where streams can starve
     /// each other.
     pub dram_age_threshold: u64,
+    /// Channel cycles every DRAM request occupies beyond its transfer time
+    /// (row activation / command serialisation). 0 — the default — keeps the
+    /// classic bandwidth-only channel; the hardware-aware DSE evaluator sets
+    /// it so fine tilings pay for their extra requests.
+    pub dram_command_cycles: u64,
 }
 
 impl Default for SimParams {
@@ -62,6 +67,7 @@ impl Default for SimParams {
             prefetch_depth: 2,
             min_tile_cycles: 1,
             dram_age_threshold: u64::MAX,
+            dram_command_cycles: 0,
         }
     }
 }
@@ -113,6 +119,14 @@ impl CycleSim {
     ) -> CycleReport {
         let PipelineJob { work, cycles } = self.job(task, stats);
         Engine::new(self, &work, cycles).run()
+    }
+
+    /// Replays an already-lowered [`PipelineJob`] (see [`CycleSim::job`]).
+    /// Identical to [`CycleSim::run_with_stats`] on the task the job was
+    /// lowered from; callers that need both the descriptors and the
+    /// simulation pay the lowering once.
+    pub fn run_job(&self, job: &PipelineJob) -> CycleReport {
+        Engine::new(self, &job.work, job.cycles.clone()).run()
     }
 
     /// Lowers `task` into a replayable [`PipelineJob`]: the per-tile work
@@ -280,11 +294,12 @@ impl<'a> Engine<'a> {
             cycles,
             n,
             queue: EventQueue::new(),
-            dram: DramChannel::with_aging(
+            dram: DramChannel::with_timing(
                 STAGES,
                 bytes_per_cycle,
                 sim.params.burst_latency,
                 sim.params.dram_age_threshold,
+                sim.params.dram_command_cycles,
             ),
             buffers: (0..STAGES - 1)
                 .map(|_| PingPongBuffer::new(sim.params.buffer_depth))

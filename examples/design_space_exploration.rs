@@ -1,19 +1,29 @@
-//! Design-space exploration scenario: search the per-layer tile size and
-//! top-k of a small model with Bayesian optimisation (paper §III-D, Alg. 1)
-//! and compare the result with random search.
+//! Hardware-aware design-space exploration: search the per-layer tile sizes
+//! and keep ratio of a small model with the candidate evaluation lowered
+//! through the real stack — `SofaPipeline` → per-tile selection statistics →
+//! `CycleSim` → the `sofa-hw` energy/area models — instead of the analytic
+//! proxy penalties of paper Alg. 1.
 //!
 //! ```bash
-//! cargo run --example design_space_exploration
+//! cargo run --release --example design_space_exploration
 //! ```
+//!
+//! Each candidate is scored as a `(loss, cycles, energy, area)` vector; a
+//! scalarized Bayesian search runs under four weight profiles in parallel
+//! (`sofa-par`, bit-identical at any `SOFA_THREADS`), and the pooled
+//! evaluations reduce to a Pareto front. The tuned recommendation is then
+//! deployed against a serving trace next to the paper-default operating
+//! point.
 
-use sofa_core::accuracy;
-use sofa_core::dse::{bayesian_optimize, random_search, DseConfig, DseSpace};
-use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+use sofa_hw::config::HwConfig;
+use sofa_model::trace::{RequestTrace, TraceConfig};
+use sofa_serve::{ServeConfig, ServeSim};
 
 fn main() {
     let layers = 4;
-    let seq_len = 512;
-    let space = DseSpace::paper_space(layers, seq_len);
+    let evaluator = HwAwareEvaluator::new(EvalConfig::quick(11), layers);
+    let space = evaluator.space();
     println!(
         "Search space: {} layers x {} tile options x {} keep options = {:.2e} configurations",
         layers,
@@ -22,32 +32,78 @@ fn main() {
         space.cardinality()
     );
 
-    // Loss term: proxy loss of the SOFA pipeline on a representative workload.
-    let workload = AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 256, 64, 32, 7);
-    let dense = workload.dense_output();
-    let loss_fn = |c: &sofa_core::dse::DseCandidate| {
-        let bc = (c.tile_sizes.iter().sum::<usize>() / c.tile_sizes.len()).max(2);
-        accuracy::evaluate_keep_ratio(&workload, &dense, c.keep_ratio, bc).loss
+    let report = hardware_aware_search(&evaluator, &DseSearchConfig::quick(11));
+    let d = &report.paper_default;
+    println!(
+        "\nPaper default (keep {:.0}%, Bc {:?}):",
+        d.candidate.keep_ratio * 100.0,
+        d.candidate.tile_sizes
+    );
+    let show = |e: &sofa_dse::CandidateEval| {
+        format!(
+            "loss {:.4}  cycles {:>6.1}k  energy {:>7.1} nJ  area {:.2} mm2",
+            e.metrics.loss,
+            e.metrics.cycles as f64 / 1e3,
+            e.metrics.energy_pj / 1e3,
+            e.metrics.area_mm2
+        )
     };
+    println!("  {}", show(d));
 
-    let cfg = DseConfig {
-        max_iters: 30,
-        ..DseConfig::paper_weights("BERT-Base", 11)
-    };
-    let bo = bayesian_optimize(&space, &cfg, loss_fn);
-    let rs = random_search(&space, &cfg, loss_fn);
-
-    println!("Bayesian optimisation ({} evaluations)", bo.evaluations);
-    println!("  best objective : {:.4}", bo.best_objective);
-    println!("  best keep ratio: {:.0}%", bo.best.keep_ratio * 100.0);
-    println!("  best tile sizes: {:?}", bo.best.tile_sizes);
-    println!("Random search baseline");
-    println!("  best objective : {:.4}", rs.best_objective);
-    println!();
-    println!("Convergence (best objective after each evaluation):");
-    for (i, v) in bo.history.iter().enumerate() {
-        if i % 5 == 0 || i + 1 == bo.history.len() {
-            println!("  eval {:>3}: {:.4}", i + 1, v);
-        }
+    println!(
+        "\nSearched {} configurations -> {} on the Pareto front, {} strictly \
+         dominate the default on (cycles, energy) at equal-or-better loss:",
+        report.evaluations,
+        report.pareto.len(),
+        report.dominating().len()
+    );
+    for e in report.dominating() {
+        println!(
+            "  keep {:>4.0}%  Bc {:?}  {}",
+            e.candidate.keep_ratio * 100.0,
+            e.candidate.tile_sizes,
+            show(e)
+        );
     }
+    println!(
+        "\nTuned recommendation: keep {:.0}%, Bc {:?}",
+        report.best.candidate.keep_ratio * 100.0,
+        report.best.candidate.tile_sizes
+    );
+    println!("  {}", show(&report.best));
+
+    // Close the loop: serve the same trace at the paper-default and tuned
+    // operating points, under the timing model the tuner optimised against.
+    let mut tc = TraceConfig::new(24, 120.0, 42);
+    tc.seq_len = 1024;
+    tc.hidden = 1024;
+    tc.heads = 8;
+    tc.prefill_queries = 32;
+    let trace = RequestTrace::generate(&tc);
+    let mut cfg = ServeConfig::new(HwConfig::paper_default(), 2);
+    cfg.tile_size = 16;
+    cfg.sim.min_tile_cycles = sofa_dse::eval::TILE_CONTROL_CYCLES;
+    cfg.sim.dram_command_cycles = sofa_dse::eval::DRAM_COMMAND_CYCLES;
+    let cmp = ServeSim::new(cfg).run_ab(&trace, &report);
+    println!(
+        "\nServing {} requests on 2 instances (paper-default vs tuned keep \
+         {:.0}% / Bc {}):",
+        trace.len(),
+        cmp.tuned_keep_ratio * 100.0,
+        cmp.tuned_tile_size
+    );
+    for (name, r) in [("paper-default", &cmp.baseline), ("dse-tuned", &cmp.tuned)] {
+        println!(
+            "  {name:<13} p50 {:>6.1}k  p95 {:>6.1}k  makespan {:>7.1}k  {:.1} req/Mcyc",
+            r.p50() as f64 / 1e3,
+            r.p95() as f64 / 1e3,
+            r.total_cycles as f64 / 1e3,
+            r.throughput_per_mcycle()
+        );
+    }
+    println!(
+        "  tuned vs default: p95 {:.2}x, makespan {:.2}x",
+        cmp.p95_gain(),
+        cmp.makespan_gain()
+    );
 }

@@ -7,9 +7,12 @@
 //!   `par_chunks`, `join`) controlled by `SOFA_THREADS`.
 //! * [`tensor`] — matrices, softmax, fixed-point and deterministic RNG.
 //! * [`model`] — workload shapes, score distributions, benchmark suite.
-//! * [`core`] — the SOFA algorithms (DLZS, SADS, SU-FA, pipeline, DSE).
+//! * [`core`] — the SOFA algorithms (DLZS, SADS, SU-FA, pipeline).
 //! * [`hw`] — analytic hardware models (engines, memory, energy, RASS).
 //! * [`sim`] — the event-driven cycle-level simulator of the tiled pipeline.
+//! * [`dse`] — hardware-aware multi-objective design-space exploration
+//!   (candidates lowered through the pipeline and cycle simulator, Pareto
+//!   front over loss/cycles/energy/area).
 //! * [`serve`] — continuous-batching request scheduling over multi-instance
 //!   simulation.
 //! * [`baselines`] — GPU/TPU and SOTA-accelerator comparison baselines.
@@ -18,6 +21,7 @@
 pub use sofa_baselines as baselines;
 pub use sofa_bench as bench;
 pub use sofa_core as core;
+pub use sofa_dse as dse;
 pub use sofa_hw as hw;
 pub use sofa_model as model;
 pub use sofa_par as par;

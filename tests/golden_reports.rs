@@ -62,6 +62,16 @@ fn serve_throughput_latency_json_is_byte_stable() {
 }
 
 #[test]
+fn dse_pareto_json_is_byte_stable() {
+    // The hardware-aware DSE is a pure function of pinned workloads and the
+    // search seed (bit-identical at any SOFA_THREADS), so its Pareto table —
+    // the input of the CI dse gate and the serving A/B — must never drift
+    // silently.
+    let table = sofa_bench::experiments::dse_pareto();
+    assert_matches_golden("dse_pareto.json", &table.to_json());
+}
+
+#[test]
 fn golden_snapshots_are_valid_single_line_json_objects() {
     // A sanity net over the snapshot files themselves (they are consumed by
     // artifact tooling, not only by this test): non-empty, one line, object-
@@ -73,6 +83,7 @@ fn golden_snapshots_are_valid_single_line_json_objects() {
     for name in [
         "sim_cycle_vs_analytic.json",
         "serve_throughput_latency.json",
+        "dse_pareto.json",
     ] {
         let text = std::fs::read_to_string(golden_path(name))
             .unwrap_or_else(|e| panic!("missing golden snapshot {name} ({e}); see module docs"));

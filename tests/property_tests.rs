@@ -317,3 +317,35 @@ proptest! {
         }
     }
 }
+
+// The hardware-aware DSE lowers every candidate through the full pipeline +
+// cycle simulator, so each case is comparatively expensive — a smaller case
+// budget than the block above still sweeps distinct workloads and candidate
+// sets.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // ---------------- hardware-aware DSE (sofa-dse) ----------------
+
+    #[test]
+    fn parallel_dse_evaluation_matches_sequential_bit_for_bit(seed in 0u64..100) {
+        use sofa_dse::{EvalConfig, HwAwareEvaluator};
+        use sofa_tensor::seeded_rng;
+
+        let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+        let space = evaluator.space();
+        let mut rng = seeded_rng(seed ^ 0xD5E);
+        let candidates: Vec<_> = (0..5).map(|_| space.sample(&mut rng)).collect();
+
+        // Sequential reference: one candidate at a time, single-threaded.
+        let reference: Vec<_> = sofa_par::with_threads(1, || {
+            candidates.iter().map(|c| evaluator.evaluate(c)).collect()
+        });
+        for threads in [1usize, 2, 8] {
+            let batch = sofa_par::with_threads(threads, || {
+                evaluator.evaluate_batch(&candidates)
+            });
+            prop_assert_eq!(&batch, &reference, "threads={}", threads);
+        }
+    }
+}
