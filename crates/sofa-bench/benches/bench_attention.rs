@@ -88,7 +88,8 @@ fn bench_run_batch_threads(c: &mut Criterion) {
             AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 384, 64, 48, 1700 + i)
         })
         .collect();
-    let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+    let op = sofa_model::OperatingPoint::single(0.25, 16);
+    let pipeline = SofaPipeline::new(PipelineConfig::for_layer(&op, 0));
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("batch8", threads),
@@ -96,7 +97,7 @@ fn bench_run_batch_threads(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     sofa_par::with_threads(threads, || {
-                        std::hint::black_box(pipeline.run_batch(&workloads))
+                        std::hint::black_box(pipeline.run_batch(&op, &workloads))
                     })
                 })
             },

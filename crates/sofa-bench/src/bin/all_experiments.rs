@@ -30,6 +30,7 @@ fn main() {
         e::sim_stall_breakdown,
         e::dse_pareto,
         e::dse_serve_ab,
+        e::serve_routed,
     ];
     for table in sofa_par::par_map(&experiments, |run| run()) {
         table.print();

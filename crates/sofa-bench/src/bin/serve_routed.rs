@@ -1,0 +1,18 @@
+//! Prints the routed-serving experiment — the same mixed prefill/decode
+//! trace served at the paper-default operating point, the single DSE-tuned
+//! point, per-request Pareto routing, and budget-constrained routing — and
+//! optionally writes it as a JSON artifact (`--json <path>`), which the CI
+//! bench-smoke job uploads per PR and regression gate 4 re-checks.
+
+use sofa_bench::report::write_json_artifact_from_args;
+
+fn main() {
+    let tables = [sofa_bench::experiments::serve_routed()];
+    for t in &tables {
+        t.print();
+        println!();
+    }
+    if let Some(path) = write_json_artifact_from_args(&tables) {
+        eprintln!("wrote {}", path.display());
+    }
+}

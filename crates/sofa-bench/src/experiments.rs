@@ -28,8 +28,8 @@ use sofa_model::profile::{normalized_oi, ComputeBreakdown, LayerProfile, MemoryF
 use sofa_model::suite::benchmark_suite;
 use sofa_model::trace::{RequestTrace, TraceConfig};
 use sofa_model::workload::{AttentionWorkload, ScoreWorkload};
-use sofa_model::ScoreDistribution;
-use sofa_serve::{ServeConfig, ServeSim};
+use sofa_model::{OperatingPoint, ScoreDistribution};
+use sofa_serve::{RoutedServeStudy, ServeConfig, ServeReport, ServeSim};
 use sofa_sim::CycleSim;
 use sofa_tensor::seeded_rng;
 
@@ -454,7 +454,7 @@ pub fn ablation_dse() -> Table {
             "evaluations",
             "BO objective",
             "random objective",
-            "BO keep",
+            "BO mean keep",
             "BO mean Bc",
         ],
     );
@@ -465,9 +465,9 @@ pub fn ablation_dse() -> Table {
             ..dse::DseConfig::paper_weights(name, 7)
         };
         // Loss term: mean per-layer proxy loss of the SOFA pipeline, each
-        // layer evaluated at *its own* candidate tile size (averaging the
-        // tile sizes into one `bc` would make every per-layer assignment of
-        // the same multiset indistinguishable).
+        // layer evaluated at *its own* candidate keep ratio and tile size
+        // (averaging either into one scalar would make every per-layer
+        // assignment of the same multiset indistinguishable).
         let layer_workloads: Vec<_> = (0..layers)
             .map(|i| {
                 let w = small_workload(layers as u64 + i as u64);
@@ -478,9 +478,9 @@ pub fn ablation_dse() -> Table {
         let loss_fn = |c: &dse::DseCandidate| {
             layer_workloads
                 .iter()
-                .zip(c.tile_sizes.iter())
-                .map(|((w, dense), &bc)| {
-                    accuracy::evaluate_keep_ratio(w, dense, c.keep_ratio, bc).loss
+                .zip(c.tile_sizes.iter().zip(c.keep_ratios.iter()))
+                .map(|((w, dense), (&bc, &keep))| {
+                    accuracy::evaluate_keep_ratio(w, dense, keep, bc).loss
                 })
                 .sum::<f64>()
                 / layers as f64
@@ -494,7 +494,7 @@ pub fn ablation_dse() -> Table {
             bo.evaluations.to_string(),
             f3(bo.best_objective),
             f3(rs.best_objective),
-            pct(bo.best.keep_ratio),
+            pct(bo.best.mean_keep()),
             f3(mean_bc),
         ]);
     }
@@ -864,10 +864,11 @@ fn serve_trace(num_requests: usize, arrivals_per_mcycle: f64, seed: u64) -> Requ
 }
 
 /// The serving configuration of the experiments: paper-default instances,
-/// tile size 32, measured (sparsity-aware) admission footprints.
+/// a single-layer `Bc = 32` deployment point, measured (sparsity-aware)
+/// admission footprints, calibrated DRAM command occupancy.
 fn serve_config(instances: usize) -> ServeConfig {
     let mut cfg = ServeConfig::new(HwConfig::paper_default(), instances);
-    cfg.tile_size = 32;
+    cfg.op = OperatingPoint::single(0.25, 32);
     cfg
 }
 
@@ -886,6 +887,8 @@ pub fn serve_throughput_latency() -> Table {
             "queue kcyc",
             "util per inst",
             "req/Mcyc served",
+            "uJ/req",
+            "total pJ",
         ],
     );
     // The (instances, load) grid points are independent serving simulations:
@@ -909,6 +912,8 @@ pub fn serve_throughput_latency() -> Table {
             format!("{:.1}", report.mean_queueing_delay() / 1e3),
             utils.join("/"),
             format!("{:.1}", report.throughput_per_mcycle()),
+            format!("{:.2}", report.energy_pj_per_request() / 1e6),
+            format!("{:.0}", report.total_energy_pj()),
         ]
     }) {
         t.add_row(row);
@@ -928,6 +933,8 @@ pub fn serve_scaling() -> Table {
             "p95 kcyc",
             "mean util",
             "dram util",
+            "uJ/req",
+            "total pJ",
         ],
     );
     let trace = serve_trace(48, 400.0, 23);
@@ -947,6 +954,8 @@ pub fn serve_scaling() -> Table {
             format!("{:.1}", report.p95() as f64 / 1e3),
             pct(report.mean_utilization()),
             pct(report.multi.dram.utilization(report.total_cycles)),
+            format!("{:.2}", report.energy_pj_per_request() / 1e6),
+            format!("{:.0}", report.total_energy_pj()),
         ]);
     }
     t
@@ -977,8 +986,9 @@ pub fn par_scaling() -> Table {
             AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 384, 64, 48, 1700 + i)
         })
         .collect();
-    let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
-    let reference = sofa_par::with_threads(1, || pipeline.run_batch(&workloads));
+    let op = OperatingPoint::single(0.25, 16);
+    let pipeline = SofaPipeline::new(PipelineConfig::for_layer(&op, 0));
+    let reference = sofa_par::with_threads(1, || pipeline.run_batch(&op, &workloads));
     let mut base_ms = None;
     for threads in [1usize, 2, 4, 8] {
         // Best of three sweeps to damp scheduler noise.
@@ -986,7 +996,7 @@ pub fn par_scaling() -> Table {
         let mut batch = Vec::new();
         for _ in 0..3 {
             let start = std::time::Instant::now();
-            batch = sofa_par::with_threads(threads, || pipeline.run_batch(&workloads));
+            batch = sofa_par::with_threads(threads, || pipeline.run_batch(&op, &workloads));
             best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
         }
         let identical = batch.len() == reference.len()
@@ -1010,53 +1020,85 @@ pub fn par_scaling() -> Table {
 // ---------------------------------------------------------------------------
 
 /// The pinned hardware-aware DSE run shared by the `dse_pareto` experiment,
-/// the serve A/B study and the CI regression gate: a 4-layer model at
-/// `S = 512` on the paper-default hardware, searched with the default probe
-/// grid and all four scalarization profiles. Deterministic and bit-identical
-/// at any `SOFA_THREADS`, which is what lets the gate require two runs to
-/// match exactly.
+/// the serve A/B and routed-serving studies and the CI regression gate: a
+/// 4-layer model at `S = 512` on the paper-default hardware, searched with
+/// the default probe grid and all four scalarization profiles.
+/// Deterministic and bit-identical at any `SOFA_THREADS`. The search is the
+/// dominant cost of every consumer, and several of them run in one process
+/// (`all_experiments`, the golden-report tests), so the result is computed
+/// once and cloned — callers that need a genuinely fresh run (the gate's
+/// determinism check) use [`dse_pareto_report_fresh`].
 pub fn dse_pareto_report() -> dse::DseReport {
+    static REPORT: std::sync::OnceLock<dse::DseReport> = std::sync::OnceLock::new();
+    REPORT.get_or_init(dse_pareto_report_fresh).clone()
+}
+
+/// [`dse_pareto_report`] without the process-wide cache: actually runs the
+/// search. The CI regression gate calls this twice to verify the search is
+/// deterministic — a check the cache would make vacuous.
+pub fn dse_pareto_report_fresh() -> dse::DseReport {
     let evaluator = dse::HwAwareEvaluator::new(dse::EvalConfig::quick(0xD5E), 4);
     dse::hardware_aware_search(&evaluator, &dse::DseSearchConfig::quick(0xD5E))
 }
 
 /// Experiment — the hardware-aware DSE Pareto front: every non-dominated
 /// `(loss, cycles, energy, area)` operating point next to the paper-default
-/// configuration, with the balanced-scalarization pick marked `tuned`.
+/// configuration, with the balanced-scalarization pick marked `tuned` and
+/// the per-class routes marked `route:*`.
 pub fn dse_pareto() -> Table {
     let mut t = Table::new(
         "DSE  Hardware-aware Pareto front (loss / cycles / energy / area)",
         &[
             "config",
-            "keep",
+            "keeps",
             "tile sizes",
             "loss",
             "kcyc",
             "energy nJ",
+            "total pJ",
             "area mm2",
             "vs default",
         ],
     );
     let r = dse_pareto_report();
     let dominating: Vec<&dse::CandidateEval> = r.dominating();
+    let decode_op = r.route(&sofa_model::trace::RequestClass::Decode);
+    let prefill_op = r.route(&sofa_model::trace::RequestClass::Prefill);
     let mut push = |label: String, e: &dse::CandidateEval, verdict: &str| {
+        let keeps: Vec<String> = e
+            .candidate
+            .keep_ratios
+            .iter()
+            .map(|&k| format!("{:.0}", k * 100.0))
+            .collect();
         t.push([
             label,
-            pct(e.candidate.keep_ratio),
+            format!("[{}]%", keeps.join(" ")),
             format!("{:?}", e.candidate.tile_sizes),
             format!("{:.4}", e.metrics.loss),
             format!("{:.1}", e.metrics.cycles as f64 / 1e3),
             f3(e.metrics.energy_pj / 1e3),
+            format!("{:.0}", e.metrics.energy_pj),
             f3(e.metrics.area_mm2),
             verdict.to_string(),
         ]);
     };
     push("paper-default".to_string(), &r.paper_default, "baseline");
-    for (i, e) in r.pareto.iter().enumerate() {
-        let label = if *e == r.best {
-            format!("pareto-{i} (tuned)")
-        } else {
+    for (i, e) in r.pareto.points().iter().enumerate() {
+        let mut marks = Vec::new();
+        if *e == r.best {
+            marks.push("tuned");
+        }
+        if e.candidate.operating_point() == decode_op {
+            marks.push("route:decode");
+        }
+        if e.candidate.operating_point() == prefill_op {
+            marks.push("route:prefill");
+        }
+        let label = if marks.is_empty() {
             format!("pareto-{i}")
+        } else {
+            format!("pareto-{i} ({})", marks.join(" "))
         };
         let verdict = if dominating.contains(&e) {
             "dominates"
@@ -1070,60 +1112,107 @@ pub fn dse_pareto() -> Table {
     t
 }
 
+/// The serving configuration of the DSE-coupled experiments: two instances
+/// under the timing model the tuner optimised against (per-tile control
+/// overhead on top of the calibrated DRAM command occupancy
+/// [`ServeConfig::new`] already enables).
+fn dse_serve_config() -> ServeConfig {
+    let mut cfg = serve_config(2);
+    cfg.sim.min_tile_cycles = dse::eval::TILE_CONTROL_CYCLES;
+    cfg
+}
+
+/// One serving report rendered as an operating-point comparison row.
+fn serve_row(name: &str, op: &OperatingPoint, r: &ServeReport) -> Vec<String> {
+    vec![
+        name.to_string(),
+        op.to_string(),
+        format!("{:.1}", r.p50() as f64 / 1e3),
+        format!("{:.1}", r.p95() as f64 / 1e3),
+        format!("{:.1}", r.p99() as f64 / 1e3),
+        format!("{:.1}", r.total_cycles as f64 / 1e3),
+        format!("{:.1}", r.throughput_per_mcycle()),
+        format!("{:.2}", r.energy_pj_per_request() / 1e6),
+        format!("{:.0}", r.total_energy_pj()),
+        r.rerouted_requests().to_string(),
+        r.shed.len().to_string(),
+    ]
+}
+
+const SERVE_OP_HEADERS: [&str; 11] = [
+    "config",
+    "operating point",
+    "p50 kcyc",
+    "p95 kcyc",
+    "p99 kcyc",
+    "makespan kcyc",
+    "req/Mcyc",
+    "uJ/req",
+    "total pJ",
+    "rerouted",
+    "shed",
+];
+
 /// Experiment — the DSE loop closed end to end: the same serving trace run
 /// at the paper-default operating point and at the tuned point the
 /// hardware-aware search recommends, side by side.
 pub fn dse_serve_ab() -> Table {
     let mut t = Table::new(
         "DSE  Serving A/B: paper-default vs DSE-tuned operating point",
-        &[
-            "config",
-            "keep",
-            "Bc",
-            "p50 kcyc",
-            "p95 kcyc",
-            "p99 kcyc",
-            "makespan kcyc",
-            "req/Mcyc",
-        ],
+        &SERVE_OP_HEADERS,
     );
     let report = dse_pareto_report();
     let trace = serve_trace(32, 150.0, 29);
-    // Both sides run under the timing model the tuner optimised against
-    // (per-tile control overhead, per-request DRAM command cycles); the
-    // baseline side lowers at the paper-default tile size the DSE's
-    // reference candidate uses.
-    let mut cfg = serve_config(2);
-    cfg.tile_size = 16;
-    cfg.sim.min_tile_cycles = dse::eval::TILE_CONTROL_CYCLES;
-    cfg.sim.dram_command_cycles = dse::eval::DRAM_COMMAND_CYCLES;
-    let cmp = ServeSim::new(cfg).run_ab(&trace, &report);
-    let rows = [
-        (
-            "paper-default".to_string(),
-            pct(0.25),
-            cfg.tile_size,
-            &cmp.baseline,
-        ),
-        (
-            "dse-tuned".to_string(),
-            pct(cmp.tuned_keep_ratio),
-            cmp.tuned_tile_size,
-            &cmp.tuned,
-        ),
-    ];
-    for (name, keep, bc, r) in rows {
-        t.push([
-            name,
-            keep,
-            bc.to_string(),
-            format!("{:.1}", r.p50() as f64 / 1e3),
-            format!("{:.1}", r.p95() as f64 / 1e3),
-            format!("{:.1}", r.p99() as f64 / 1e3),
-            format!("{:.1}", r.total_cycles as f64 / 1e3),
-            format!("{:.1}", r.throughput_per_mcycle()),
-        ]);
-    }
+    let cmp = ServeSim::new(dse_serve_config()).run_ab(&trace, &report);
+    let default_op = OperatingPoint::paper_default(cmp.tuned_op.layers());
+    t.add_row(serve_row("paper-default", &default_op, &cmp.baseline));
+    t.add_row(serve_row("dse-tuned", &cmp.tuned_op, &cmp.tuned));
+    t
+}
+
+/// The pinned routed-serving study shared by the `serve_routed` experiment,
+/// its golden snapshot and CI regression gate 4: the mixed prefill/decode
+/// trace of the A/B experiment served at the paper-default point, the single
+/// tuned point, per-request Pareto routing, and Pareto routing under a
+/// ¾-of-default energy budget. Deterministic and bit-identical at any
+/// `SOFA_THREADS`.
+pub fn serve_routed_study() -> RoutedServeStudy {
+    serve_routed_study_from(&dse_pareto_report())
+}
+
+/// [`serve_routed_study`] on an already-computed DSE report — the search is
+/// the dominant cost, so callers that have one (the CI regression gate runs
+/// it for gate 3) should not pay for it again.
+pub fn serve_routed_study_from(report: &dse::DseReport) -> RoutedServeStudy {
+    let trace = serve_trace(32, 150.0, 29);
+    ServeSim::new(dse_serve_config()).run_routed_study(&trace, report)
+}
+
+/// Experiment — per-request operating points: paper-default vs single-point
+/// tuned vs Pareto-routed (latency-lean decodes, energy-lean prefills) vs
+/// budget-constrained routing, on the same mixed trace. The routed row must
+/// strictly dominate the paper default on (p95, J/req) — CI gate 4.
+pub fn serve_routed() -> Table {
+    let mut t = Table::new(
+        "Serve  Routed operating points: default vs tuned vs Pareto-routed",
+        &SERVE_OP_HEADERS,
+    );
+    let study = serve_routed_study();
+    let default_op = OperatingPoint::paper_default(study.tuned_op.layers());
+    t.add_row(serve_row(
+        "paper-default",
+        &default_op,
+        &study.paper_default,
+    ));
+    t.add_row(serve_row("dse-tuned", &study.tuned_op, &study.tuned));
+    // The routed rows show the decode route (the majority class); the
+    // prefill route is in the dse_pareto table's route:prefill mark.
+    t.add_row(serve_row("pareto-routed", &study.decode_op, &study.routed));
+    t.add_row(serve_row(
+        "routed+budget",
+        &study.decode_op,
+        &study.budgeted,
+    ));
     t
 }
 
@@ -1280,8 +1369,11 @@ mod tests {
             "one row per point + default"
         );
         assert_eq!(t.rows[0][0], "paper-default");
-        assert!(t.rows.iter().any(|row| row[7] == "dominates"));
+        assert!(t.rows.iter().any(|row| row[8] == "dominates"));
         assert!(t.rows.iter().any(|row| row[0].contains("tuned")));
+        // Both per-class routes are marked on the front.
+        assert!(t.rows.iter().any(|row| row[0].contains("route:decode")));
+        assert!(t.rows.iter().any(|row| row[0].contains("route:prefill")));
     }
 
     #[test]
@@ -1292,8 +1384,43 @@ mod tests {
         assert_eq!(t.rows[1][0], "dse-tuned");
         let parse = |s: &str| s.parse::<f64>().unwrap();
         for r in &t.rows {
-            let (p50, p95, p99) = (parse(&r[3]), parse(&r[4]), parse(&r[5]));
+            let (p50, p95, p99) = (parse(&r[2]), parse(&r[3]), parse(&r[4]));
             assert!(p50 <= p95 && p95 <= p99, "percentiles out of order: {r:?}");
+            assert!(parse(&r[7]) > 0.0, "J/req column must be populated: {r:?}");
+        }
+    }
+
+    #[test]
+    fn serve_routed_strictly_dominates_the_paper_default() {
+        // The acceptance bar of this PR: per-request Pareto routing beats
+        // the paper-default operating point on both axes of (p95, J/req) and
+        // does not regress tail latency against the single tuned point.
+        let study = serve_routed_study();
+        assert!(
+            study.routed_dominates_default(),
+            "routed (p95 {}, {:.2} uJ/req) must strictly dominate the paper \
+             default (p95 {}, {:.2} uJ/req)",
+            study.routed.p95(),
+            study.routed.energy_pj_per_request() / 1e6,
+            study.paper_default.p95(),
+            study.paper_default.energy_pj_per_request() / 1e6,
+        );
+        assert!(
+            study.routed.p95() <= study.tuned.p95(),
+            "routing must not regress p95 vs the single tuned point: {} vs {}",
+            study.routed.p95(),
+            study.tuned.p95(),
+        );
+        let t = serve_routed();
+        assert_eq!(t.rows.len(), 4, "default, tuned, routed, budgeted");
+        assert_eq!(t.rows[2][0], "pareto-routed");
+        // The budgeted run demonstrates the energy path: every request is
+        // either served or shed, and the budget bounds served J/req.
+        let served = study.budgeted.records.len();
+        let shed = study.budgeted.shed.len();
+        assert_eq!(served + shed, 32, "whole trace accounted for");
+        for r in &study.budgeted.records {
+            assert!(r.energy_pj <= study.budget_pj);
         }
     }
 

@@ -21,7 +21,7 @@ use crate::sads::{sads_topk, SadsConfig};
 use crate::sufa::{sorted_updating_attention, SuFaOrder, SuFaStats};
 use crate::topk::{resolve_k, topk_exact, TopKMask};
 use crate::SofaError;
-use sofa_model::AttentionWorkload;
+use sofa_model::{AttentionWorkload, OperatingPoint};
 use sofa_tensor::Matrix;
 
 /// Which prediction scheme the pre-compute stage uses.
@@ -75,7 +75,10 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// Creates the default SOFA configuration (DLZS + SADS + descending SU-FA)
-    /// with the given keep ratio and tile size.
+    /// with the given keep ratio and tile size. This is the validated scalar
+    /// base constructor `OperatingPoint` lowering builds on — lowering call
+    /// sites go through [`PipelineConfig::for_layer`] instead of passing
+    /// scalar pairs.
     ///
     /// # Errors
     ///
@@ -103,6 +106,19 @@ impl PipelineConfig {
             sorting: SortingScheme::Sads,
             formal: FormalScheme::SuFa(SuFaOrder::Descending),
         })
+    }
+
+    /// The default SOFA configuration at one layer of an operating point —
+    /// the lowering entry point consumers use instead of passing scalar
+    /// `(keep, Bc)` pairs (`OperatingPoint` invariants guarantee validity,
+    /// so this cannot fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of the point's range.
+    pub fn for_layer(op: &OperatingPoint, layer: usize) -> Self {
+        Self::new(op.keep(layer), op.tile(layer))
+            .expect("operating points are valid pipeline configs")
     }
 
     /// The prior-work baseline: 4-bit multiply prediction, whole-row sorting
@@ -225,11 +241,31 @@ impl SofaPipeline {
         &self.cfg
     }
 
-    /// Runs the pipeline on a batch of workloads — one serving request each —
-    /// returning one result per request in input order. This is the batched
-    /// entry point for turning a set of admitted requests into per-request
-    /// selection masks; from those,
-    /// [`PipelineResult::tile_selection_stats`] and
+    /// This pipeline's schemes (prediction/sorting/formal, SADS tuning) at
+    /// one layer of an operating point: the keep ratio and tile size are
+    /// swapped for `op`'s, everything else is inherited. This is how a
+    /// multi-layer lowering switches tile size and keep ratio between layer
+    /// invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of the point's range.
+    pub fn at_layer(&self, op: &OperatingPoint, layer: usize) -> SofaPipeline {
+        let mut cfg = self.cfg;
+        cfg.keep_ratio = op.keep(layer);
+        cfg.tile_size = op.tile(layer);
+        SofaPipeline::new(cfg)
+    }
+
+    /// Runs the pipeline on a batch of independent workloads — one serving
+    /// request each — at a **single-layer** operating point, returning one
+    /// result per workload in input order. For multi-layer points use
+    /// [`SofaPipeline::run_layers`]; keeping the two entry points separate
+    /// means a layer count that happens to match the batch length can never
+    /// silently change what a call computes. Schemes come from this
+    /// pipeline ([`SofaPipeline::at_layer`]).
+    ///
+    /// From the results, [`PipelineResult::tile_selection_stats`] and
     /// `sofa_hw::SofaAccelerator::request_descriptors` produce per-request
     /// tile descriptor streams for multi-instance cycle simulation. (The
     /// `sofa-serve` experiments lower requests from expected-value
@@ -241,12 +277,63 @@ impl SofaPipeline {
     /// workload. Results are bit-identical to calling [`SofaPipeline::run`]
     /// per workload, at any thread count — the differential property test
     /// in `tests/property_tests.rs` enforces this.
-    pub fn run_batch(&self, workloads: &[AttentionWorkload]) -> Vec<PipelineResult> {
-        sofa_par::par_chunks(workloads, |_, chunk| {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` has more than one layer.
+    pub fn run_batch(
+        &self,
+        op: &OperatingPoint,
+        workloads: &[AttentionWorkload],
+    ) -> Vec<PipelineResult> {
+        assert_eq!(
+            op.layers(),
+            1,
+            "run_batch broadcasts a single-layer point; use run_layers for \
+             per-layer lowering"
+        );
+        self.run_mapped(op, workloads, |_| 0)
+    }
+
+    /// Runs one workload per layer of `op`, workload `i` at layer `i`'s
+    /// keep ratio and tile size — the per-layer lowering path of a
+    /// multi-layer request, switching the operating point between layer
+    /// invocations. Same parallelism and determinism guarantees as
+    /// [`SofaPipeline::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload count differs from `op`'s layer count.
+    pub fn run_layers(
+        &self,
+        op: &OperatingPoint,
+        layer_workloads: &[AttentionWorkload],
+    ) -> Vec<PipelineResult> {
+        assert_eq!(
+            layer_workloads.len(),
+            op.layers(),
+            "run_layers needs exactly one workload per layer"
+        );
+        self.run_mapped(op, layer_workloads, |i| i)
+    }
+
+    /// Shared fan-out of `run_batch`/`run_layers`: workload `i` runs at
+    /// layer `layer_of(i)` of `op`, one scratch per worker.
+    fn run_mapped(
+        &self,
+        op: &OperatingPoint,
+        workloads: &[AttentionWorkload],
+        layer_of: impl Fn(usize) -> usize + Sync,
+    ) -> Vec<PipelineResult> {
+        sofa_par::par_chunks(workloads, |start, chunk| {
             let mut scratch = RunScratch::new();
             chunk
                 .iter()
-                .map(|w| self.run_with_scratch(w, &mut scratch))
+                .enumerate()
+                .map(|(offset, w)| {
+                    self.at_layer(op, layer_of(start + offset))
+                        .run_with_scratch(w, &mut scratch)
+                })
                 .collect()
         })
     }
@@ -435,7 +522,7 @@ mod tests {
             AttentionWorkload::generate(&ScoreDistribution::gpt_like(), 4, 64, 32, 16, 99),
         ];
         let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
-        let batch = pipeline.run_batch(&workloads);
+        let batch = pipeline.run_batch(&OperatingPoint::single(0.25, 16), &workloads);
         assert_eq!(batch.len(), 2);
         for (r, w) in batch.iter().zip(workloads.iter()) {
             let solo = pipeline.run(w);
@@ -445,6 +532,40 @@ mod tests {
         // Each entry exports its own per-tile selection stats.
         let stats = batch[1].tile_selection_stats(16);
         assert_eq!(stats.num_tiles(), 64 / 16);
+    }
+
+    #[test]
+    fn multi_layer_points_switch_keep_and_tile_between_layers() {
+        // A two-layer point must run workload i at layer i's configuration —
+        // identical to building that layer's pipeline by hand.
+        let workloads = [workload(), workload()];
+        let op = OperatingPoint::new(vec![0.1, 0.4], vec![8, 32]).unwrap();
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let batch = pipeline.run_layers(&op, &workloads);
+        for (layer, r) in batch.iter().enumerate() {
+            let solo =
+                SofaPipeline::new(PipelineConfig::for_layer(&op, layer)).run(&workloads[layer]);
+            assert_eq!(r.output, solo.output, "layer {layer}");
+            assert_eq!(r.mask, solo.mask, "layer {layer}");
+        }
+        // Distinct layers really saw distinct operating points.
+        assert_ne!(batch[0].mask, batch[1].mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per layer")]
+    fn run_layers_rejects_mismatched_batches() {
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let _ = pipeline.run_layers(&OperatingPoint::paper_default(3), &[workload()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcasts a single-layer point")]
+    fn run_batch_rejects_multi_layer_points() {
+        // A layer count that happens to equal the batch length must not
+        // silently turn a request batch into per-layer lowering.
+        let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let _ = pipeline.run_batch(&OperatingPoint::paper_default(2), &[workload(), workload()]);
     }
 
     #[test]
@@ -473,9 +594,10 @@ mod tests {
             AttentionWorkload::generate(&ScoreDistribution::vit_like(), 8, 96, 48, 32, 7),
         ];
         let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+        let op = OperatingPoint::single(0.25, 16);
         let solo: Vec<PipelineResult> = workloads.iter().map(|w| pipeline.run(w)).collect();
         for threads in [1usize, 2, 8] {
-            let batch = sofa_par::with_threads(threads, || pipeline.run_batch(&workloads));
+            let batch = sofa_par::with_threads(threads, || pipeline.run_batch(&op, &workloads));
             assert_eq!(batch.len(), solo.len());
             for (b, s) in batch.iter().zip(solo.iter()) {
                 assert_eq!(b.output, s.output, "threads={threads}");

@@ -30,16 +30,10 @@ use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
 use sofa_hw::accel::AttentionTask;
 use sofa_hw::area::{AreaModel, Module};
 use sofa_hw::config::HwConfig;
-use sofa_hw::energy::compute_energy_j;
+use sofa_hw::energy::{compute_energy_j, DRAM_ACTIVATION_PJ};
 use sofa_model::{AttentionWorkload, ScoreDistribution};
 use sofa_sim::CycleSim;
 use sofa_tensor::Matrix;
-
-/// Energy charged per DRAM request issued by the cycle simulator (row
-/// activation + command overhead, ~1 nJ for an HBM2-class burst). Fine
-/// tilings issue more, smaller requests for the same traffic; this term is
-/// what makes that overhead visible to the energy objective.
-const DRAM_ACTIVATION_PJ: f64 = 1000.0;
 
 /// Control overhead a stage pays per tile (descriptor decode, bank swap,
 /// scoreboard update) in the DSE evaluation. This is the cost the paper's
@@ -47,13 +41,6 @@ const DRAM_ACTIVATION_PJ: f64 = 1000.0;
 /// the default simulator floor of 1 cycle would make 128 two-element tiles
 /// look free, hiding exactly the trade-off Algorithm 1 exists to balance.
 pub const TILE_CONTROL_CYCLES: u64 = 32;
-
-/// Channel cycles each DRAM request occupies beyond its transfer (row
-/// activation + command serialisation, ~tRC at 1 GHz). The time-domain twin
-/// of [`DRAM_ACTIVATION_PJ`]: fine tilings issue more, smaller requests for
-/// the same bytes, and with a bandwidth-only channel that overhead would be
-/// invisible to the cycles objective.
-pub const DRAM_COMMAND_CYCLES: u64 = 32;
 
 /// The tile size the published Table III breakdown was sized for.
 const AREA_REFERENCE_BC: f64 = 16.0;
@@ -265,10 +252,9 @@ impl HwAwareEvaluator {
     /// point.
     fn evaluate_layer(&self, layer: usize, c: &DseCandidate) -> (f64, u64, f64) {
         let (workload, dense) = &self.layers[layer];
-        let bc = c.tile_sizes[layer];
-        let pcfg = PipelineConfig::new(c.keep_ratio, bc)
-            .expect("space candidates are valid pipeline configs");
-        let result = SofaPipeline::new(pcfg).run(workload);
+        let op = c.operating_point();
+        let bc = op.tile(layer);
+        let result = SofaPipeline::new(PipelineConfig::for_layer(&op, layer)).run(workload);
         let loss = proxy_loss(&result.output, dense);
 
         // Lower the measured selection into the hardware models: the task
@@ -276,32 +262,27 @@ impl HwAwareEvaluator {
         // expectation), and the cycle simulator replays the run's real
         // per-tile selection counts.
         let stats = result.tile_selection_stats(bc);
-        let mut task = AttentionTask::new(
+        let mut task = AttentionTask::at_layer(
             self.cfg.queries,
             self.cfg.seq_len,
             self.cfg.heads * self.cfg.head_dim,
             self.cfg.heads,
-            c.keep_ratio,
-            bc,
+            &op,
+            layer,
         );
         task.key_union_fraction =
             (result.keys_generated as f64 / self.cfg.seq_len as f64).clamp(1e-6, 1.0);
 
         let mut sim = CycleSim::new(self.cfg.hw);
         sim.params.min_tile_cycles = TILE_CONTROL_CYCLES;
-        sim.params.dram_command_cycles = DRAM_COMMAND_CYCLES;
+        // Calibrated against the burst-latency model (not hardwired): fine
+        // tilings issue more, smaller requests for the same bytes, and with
+        // a bandwidth-only channel that overhead would be invisible to the
+        // cycles objective.
+        sim.params = sim.params.with_dram_command_calibration(&self.cfg.hw);
         // One lowering serves both the DRAM-request count and the replay.
         let job = sim.job(&task, Some(&stats));
-        let requests = job
-            .work
-            .iter()
-            .map(|w| {
-                u64::from(w.pred_read_bytes > 0)
-                    + u64::from(w.kv_read_bytes > 0)
-                    + u64::from(w.extra_formal_read_bytes > 0)
-                    + u64::from(w.write_bytes > 0)
-            })
-            .sum::<u64>();
+        let requests = job.dram_requests();
         let report = sim.run_job(&job);
         let analytic = sim.accel.simulate(&task);
 
@@ -341,10 +322,7 @@ mod tests {
     use super::*;
 
     fn uniform(keep: f64, bc: usize, layers: usize) -> DseCandidate {
-        DseCandidate {
-            keep_ratio: keep,
-            tile_sizes: vec![bc; layers],
-        }
+        DseCandidate::uniform(keep, bc, layers)
     }
 
     #[test]
@@ -394,7 +372,7 @@ mod tests {
         // had (it collapsed per-layer tiles into one mean `bc`).
         let eval = HwAwareEvaluator::new(EvalConfig::tiny(7), 2);
         let mixed = eval.evaluate(&DseCandidate {
-            keep_ratio: 0.25,
+            keep_ratios: vec![0.25, 0.25],
             tile_sizes: vec![4, 28],
         });
         let mean = eval.evaluate(&uniform(0.25, 16, 2));
@@ -418,7 +396,7 @@ mod tests {
         assert!(at_2 < at_16 && at_16 < at_32);
         // Area follows the *largest* tile across layers.
         let mixed = candidate_area_mm2(&DseCandidate {
-            keep_ratio: 0.25,
+            keep_ratios: vec![0.25, 0.25],
             tile_sizes: vec![2, 32],
         });
         assert!((mixed - at_32).abs() < 1e-9);

@@ -54,7 +54,7 @@ pub mod space;
 pub mod surrogate;
 
 pub use eval::{CandidateEval, EvalConfig, HwAwareEvaluator, MetricVector};
-pub use pareto::pareto_front;
+pub use pareto::{pareto_front, ParetoFront};
 pub use report::{hardware_aware_search, DseReport, DseSearchConfig, ScalarWeights};
 pub use search::{bayesian_optimize, random_search, DseConfig, DseResult};
 pub use space::{DseCandidate, DseSpace};

@@ -1,7 +1,11 @@
 //! Pareto-front extraction over `(loss, cycles, energy, area)` metric
-//! vectors, with deterministic dedup and ordering.
+//! vectors, with deterministic dedup and ordering — and [`ParetoFront`], the
+//! routable form the serving layer consumes: a deterministic lookup table
+//! from request class to operating point.
 
-use crate::eval::CandidateEval;
+use crate::eval::{CandidateEval, MetricVector};
+use sofa_model::trace::RequestClass;
+use sofa_model::OperatingPoint;
 
 /// Extracts the non-dominated subset of `evals`.
 ///
@@ -36,9 +40,153 @@ pub fn pareto_front(evals: &[CandidateEval]) -> Vec<CandidateEval> {
         a.metrics
             .order_key()
             .cmp(&b.metrics.order_key())
-            .then_with(|| a.candidate.order_key().cmp(&b.candidate.order_key()))
+            .then_with(|| a.candidate.cmp_key(&b.candidate))
     });
     front
+}
+
+/// A non-dominated front packaged as a **routing table**: each
+/// [`RequestClass`] maps to exactly one operating point on the front.
+///
+/// The routing rule is total and deterministic:
+///
+/// * a point is eligible when its loss is at or below the reference
+///   (paper-default) loss **and** its mean keep ratio does not exceed the
+///   reference's. The loss bar keeps routing from trading accuracy away;
+///   the keep bar keeps the energy win shape-robust — the evaluation's
+///   energy is measured at one pinned token parallelism, while the kept
+///   pairs are the traffic knob that scales a request's energy at *any*
+///   shape. When no point clears both bars the keep bar is dropped, and
+///   when the loss bar alone is unsatisfiable the minimum-loss points are
+///   eligible instead;
+/// * **decodes** (latency-critical single tokens) get the *latency-lean*
+///   eligible point: minimal cycles, energy and candidate key in that order;
+/// * **prefills** (throughput/energy-bound bulk work) get the *energy-lean*
+///   eligible point: minimal energy, cycles and candidate key in that order.
+///
+/// Two constructions over the same evaluations produce identical routes —
+/// the unit tests and the serving differential proptest rely on this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    points: Vec<CandidateEval>,
+    reference: MetricVector,
+    reference_mean_keep: f64,
+}
+
+impl ParetoFront {
+    /// Builds the front (dedup + dominance + deterministic ordering, see
+    /// [`pareto_front`]) from a pool of evaluations, with `reference` — the
+    /// paper-default evaluation — anchoring the loss and keep eligibility
+    /// bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals` is empty (a front must be routable).
+    pub fn new(evals: &[CandidateEval], reference: &CandidateEval) -> Self {
+        let points = pareto_front(evals);
+        assert!(!points.is_empty(), "a routable front needs evaluations");
+        ParetoFront {
+            points,
+            reference: reference.metrics,
+            reference_mean_keep: reference.candidate.mean_keep(),
+        }
+    }
+
+    /// The non-dominated points, in deterministic order.
+    pub fn points(&self) -> &[CandidateEval] {
+        &self.points
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty (never, by construction — kept for
+    /// API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The reference (paper-default) metrics the eligibility bar uses.
+    pub fn reference(&self) -> &MetricVector {
+        &self.reference
+    }
+
+    /// Layer count of the operating points this front routes to.
+    pub fn layers(&self) -> usize {
+        self.points[0].candidate.tile_sizes.len()
+    }
+
+    /// The points clearing the loss *and* keep bars; without any, the
+    /// loss bar alone; without any, the minimum-loss points.
+    fn eligible(&self) -> Vec<&CandidateEval> {
+        let both: Vec<&CandidateEval> = self
+            .points
+            .iter()
+            .filter(|e| {
+                e.metrics.loss <= self.reference.loss
+                    && e.candidate.mean_keep() <= self.reference_mean_keep + 1e-12
+            })
+            .collect();
+        if !both.is_empty() {
+            return both;
+        }
+        let cleared: Vec<&CandidateEval> = self
+            .points
+            .iter()
+            .filter(|e| e.metrics.loss <= self.reference.loss)
+            .collect();
+        if !cleared.is_empty() {
+            return cleared;
+        }
+        let min_loss = self
+            .points
+            .iter()
+            .map(|e| e.metrics.loss)
+            .fold(f64::INFINITY, f64::min);
+        self.points
+            .iter()
+            .filter(|e| e.metrics.loss == min_loss)
+            .collect()
+    }
+
+    /// Routes a request class to its operating point (see the type docs for
+    /// the rule). Total: every class maps to exactly one point.
+    pub fn route(&self, class: &RequestClass) -> OperatingPoint {
+        let eligible = self.eligible();
+        let pick = match class {
+            RequestClass::Decode => eligible.iter().min_by(|a, b| {
+                (a.metrics.cycles, a.metrics.energy_pj.to_bits())
+                    .cmp(&(b.metrics.cycles, b.metrics.energy_pj.to_bits()))
+                    .then_with(|| a.candidate.cmp_key(&b.candidate))
+            }),
+            RequestClass::Prefill => eligible.iter().min_by(|a, b| {
+                (a.metrics.energy_pj.to_bits(), a.metrics.cycles)
+                    .cmp(&(b.metrics.energy_pj.to_bits(), b.metrics.cycles))
+                    .then_with(|| a.candidate.cmp_key(&b.candidate))
+            }),
+        };
+        pick.expect("eligible set is non-empty")
+            .candidate
+            .operating_point()
+    }
+
+    /// The energy-leanest point on the whole front (no loss bar) — the
+    /// fallback the serving layer re-routes to when a request's projected
+    /// energy exceeds its budget.
+    pub fn leanest_energy(&self) -> OperatingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.metrics.energy_pj.to_bits(), a.metrics.cycles)
+                    .cmp(&(b.metrics.energy_pj.to_bits(), b.metrics.cycles))
+                    .then_with(|| a.candidate.cmp_key(&b.candidate))
+            })
+            .expect("front is non-empty")
+            .candidate
+            .operating_point()
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +205,7 @@ mod tests {
     ) -> CandidateEval {
         CandidateEval {
             candidate: DseCandidate {
-                keep_ratio: keep,
+                keep_ratios: vec![keep, keep],
                 tile_sizes: vec![bc, bc],
             },
             metrics: MetricVector {
@@ -119,6 +267,66 @@ mod tests {
         assert!(pareto_front(&[]).is_empty());
         let only = entry(0.2, 16, 0.1, 100, 50.0, 5.0);
         assert_eq!(pareto_front(std::slice::from_ref(&only)), vec![only]);
+    }
+
+    #[test]
+    fn route_is_total_and_deterministic() {
+        // Every request class maps to exactly one point, and two independent
+        // constructions over the same evaluations route identically.
+        let evals = vec![
+            entry(0.3, 4, 0.05, 300, 90.0, 3.0),  // accurate but slow/hot
+            entry(0.2, 16, 0.10, 100, 50.0, 5.0), // latency-lean
+            entry(0.1, 8, 0.10, 150, 20.0, 4.0),  // energy-lean
+        ];
+        let reference = entry(0.25, 16, 0.12, 200, 80.0, 5.0);
+        let a = ParetoFront::new(&evals, &reference);
+        let mut shuffled = evals.clone();
+        shuffled.reverse();
+        let b = ParetoFront::new(&shuffled, &reference);
+        for class in [RequestClass::Decode, RequestClass::Prefill] {
+            let pa = a.route(&class);
+            let pb = b.route(&class);
+            assert_eq!(pa, pb, "{class} routes differ across constructions");
+            assert_eq!(pa, a.route(&class), "{class} route is unstable");
+        }
+        // The class split picks the right leanings: decodes minimise cycles,
+        // prefills minimise energy, both under the loss bar.
+        assert_eq!(a.route(&RequestClass::Decode).tiles(), &[16, 16]);
+        assert_eq!(a.route(&RequestClass::Prefill).tiles(), &[8, 8]);
+        assert_eq!(a.leanest_energy().tiles(), &[8, 8]);
+    }
+
+    #[test]
+    fn keep_bar_excludes_heavier_keeps_even_when_their_eval_energy_is_lower() {
+        // A point keeping more pairs than the reference can still show lower
+        // energy at the pinned evaluation shape — but it must not be routed
+        // to, because kept pairs scale a request's energy at any shape.
+        let heavy_but_cheap = entry(0.4, 32, 0.08, 90, 45.0, 5.0);
+        let keep_parity = entry(0.25, 32, 0.10, 85, 55.0, 5.0);
+        let reference = entry(0.25, 16, 0.12, 200, 80.0, 5.0);
+        let front = ParetoFront::new(&[heavy_but_cheap, keep_parity.clone()], &reference);
+        for class in [RequestClass::Decode, RequestClass::Prefill] {
+            assert_eq!(
+                front.route(&class),
+                keep_parity.candidate.operating_point(),
+                "{class} must stay at keep parity with the reference"
+            );
+        }
+    }
+
+    #[test]
+    fn route_falls_back_to_minimum_loss_when_nothing_clears_the_bar() {
+        let evals = vec![
+            entry(0.2, 16, 0.30, 100, 50.0, 5.0),
+            entry(0.1, 8, 0.20, 150, 20.0, 4.0),
+        ];
+        // Nothing on the front is as accurate as this reference.
+        let strict_reference = entry(0.25, 16, 0.01, 200, 80.0, 5.0);
+        let front = ParetoFront::new(&evals, &strict_reference);
+        // Only the loss-0.20 point is eligible; both classes land on it.
+        assert_eq!(front.route(&RequestClass::Decode).tiles(), &[8, 8]);
+        assert_eq!(front.route(&RequestClass::Prefill).tiles(), &[8, 8]);
+        assert_eq!(front.layers(), 2);
     }
 
     #[test]

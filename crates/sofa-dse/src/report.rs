@@ -20,9 +20,11 @@
 //! the property the CI regression gate re-checks by running the search twice.
 
 use crate::eval::{CandidateEval, HwAwareEvaluator, MetricVector};
-use crate::pareto::pareto_front;
+use crate::pareto::ParetoFront;
 use crate::space::{DseCandidate, DseSpace};
 use crate::surrogate::propose_next;
+use sofa_model::trace::RequestClass;
+use sofa_model::OperatingPoint;
 use sofa_tensor::seeded_rng;
 
 /// One scalarization profile: weights over the normalised metric components.
@@ -148,8 +150,9 @@ pub struct DseReport {
     /// Every evaluated point, in deterministic order (probes first, then the
     /// profile runs profile-major).
     pub evaluated: Vec<CandidateEval>,
-    /// The non-dominated front over `evaluated` plus the default.
-    pub pareto: Vec<CandidateEval>,
+    /// The non-dominated front over `evaluated` plus the default, packaged
+    /// as the per-request-class routing table the serving layer consumes.
+    pub pareto: ParetoFront,
     /// The tuned recommendation a consumer should deploy: the
     /// balanced-scalarization winner among the candidates that strictly
     /// dominate the paper default on (cycles, energy) at equal-or-better
@@ -168,19 +171,24 @@ impl DseReport {
     pub fn dominating(&self) -> Vec<&CandidateEval> {
         let d = &self.paper_default.metrics;
         self.pareto
+            .points()
             .iter()
             .filter(|e| e.metrics.beats_on_cycles_energy(d))
             .collect()
     }
 
-    /// The tuned operating point for single-tile-size consumers: the best
-    /// candidate's keep ratio and (lower-median) tile size. `sofa-serve`
-    /// lowers a whole trace with these.
-    pub fn tuned_operating_point(&self) -> (f64, usize) {
-        (
-            self.best.candidate.keep_ratio,
-            self.best.candidate.median_tile_size(),
-        )
+    /// The tuned operating point — the best candidate's full per-layer keep
+    /// ratios and tile sizes. `sofa-serve` lowers a whole trace with this
+    /// when it runs single-point (non-routed) deployments.
+    pub fn tuned_operating_point(&self) -> OperatingPoint {
+        self.best.candidate.operating_point()
+    }
+
+    /// Routes a request class through the Pareto front
+    /// ([`ParetoFront::route`]): latency-lean for decodes, energy-lean for
+    /// prefills, never above the paper default's loss.
+    pub fn route(&self, class: &RequestClass) -> OperatingPoint {
+        self.pareto.route(class)
     }
 }
 
@@ -205,10 +213,9 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
         .probe_keeps
         .iter()
         .flat_map(|&keep| {
-            cfg.probe_tiles.iter().map(move |&bc| DseCandidate {
-                keep_ratio: keep,
-                tile_sizes: vec![bc; space.layers],
-            })
+            cfg.probe_tiles
+                .iter()
+                .map(move |&bc| DseCandidate::uniform(keep, bc, space.layers))
         })
         .collect();
     let probe_evals = evaluator.evaluate_batch(&probes);
@@ -237,7 +244,7 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
     let evaluations = evaluated.len() + 1;
     let mut pool = evaluated.clone();
     pool.push(paper_default.clone());
-    let pareto = pareto_front(&pool);
+    let pareto = ParetoFront::new(&pool, &paper_default);
 
     let balanced = ScalarWeights::balanced();
     let pick_min = |pool: &[&CandidateEval]| -> Option<CandidateEval> {
@@ -246,7 +253,7 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
                 balanced
                     .scalarize(&a.metrics, &reference)
                     .total_cmp(&balanced.scalarize(&b.metrics, &reference))
-                    .then_with(|| a.candidate.order_key().cmp(&b.candidate.order_key()))
+                    .then_with(|| a.candidate.cmp_key(&b.candidate))
             })
             .map(|e| (*e).clone())
     };
@@ -337,7 +344,7 @@ mod tests {
         // 2×2 probes + 1 profile × (1 + 2).
         assert_eq!(r.evaluated.len(), 7);
         // The front is non-dominated with respect to the default too.
-        for e in &r.pareto {
+        for e in r.pareto.points() {
             assert!(
                 !r.paper_default.metrics.dominates(&e.metrics),
                 "front member dominated by the default"
@@ -386,8 +393,40 @@ mod tests {
     #[test]
     fn tuned_operating_point_is_well_formed() {
         let r = smoke_report(19);
-        let (keep, tile) = r.tuned_operating_point();
-        assert!(keep > 0.0 && keep <= 1.0);
-        assert!(r.space.tile_options.contains(&tile) || tile == 16);
+        let op = r.tuned_operating_point();
+        assert_eq!(op.layers(), r.space.layers);
+        for l in 0..op.layers() {
+            assert!(op.keep(l) > 0.0 && op.keep(l) <= 1.0);
+            assert!(r.space.tile_options.contains(&op.tile(l)) || op.tile(l) == 16);
+        }
+    }
+
+    #[test]
+    fn report_routes_both_request_classes_through_the_front() {
+        let r = smoke_report(23);
+        let decode = r.route(&RequestClass::Decode);
+        let prefill = r.route(&RequestClass::Prefill);
+        assert_eq!(decode.layers(), r.space.layers);
+        assert_eq!(prefill.layers(), r.space.layers);
+        // Routed points come from the front.
+        for op in [&decode, &prefill] {
+            assert!(
+                r.pareto
+                    .points()
+                    .iter()
+                    .any(|e| e.candidate.operating_point() == *op),
+                "routed point must sit on the front"
+            );
+        }
+        // Neither routed point loses accuracy against the paper default.
+        for op in [&decode, &prefill] {
+            let eval = r
+                .pareto
+                .points()
+                .iter()
+                .find(|e| e.candidate.operating_point() == *op)
+                .expect("on the front");
+            assert!(eval.metrics.loss <= r.paper_default.metrics.loss + 1e-12);
+        }
     }
 }

@@ -178,7 +178,7 @@ mod tests {
     /// A synthetic loss surface: prefers keep ratios around 0.25 and tile
     /// sizes around 16.
     fn synthetic_loss(c: &DseCandidate) -> f64 {
-        let k_term = (c.keep_ratio - 0.25).powi(2) * 4.0;
+        let k_term = (c.mean_keep() - 0.25).powi(2) * 4.0;
         let b_term: f64 = c
             .tile_sizes
             .iter()
@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn objective_combines_terms() {
-        let c = DseCandidate {
-            keep_ratio: 0.2,
-            tile_sizes: vec![16],
-        };
+        let c = DseCandidate::uniform(0.2, 16, 1);
         let base = objective(0.1, &c, 512, 0.0, 0.0);
         assert!((base - 0.1).abs() < 1e-12);
         let with_pen = objective(0.1, &c, 512, 1.0, 1.0);
@@ -209,11 +206,11 @@ mod tests {
         assert_eq!(result.history.len(), cfg.max_iters);
         // History is monotonically non-increasing (best-so-far).
         assert!(result.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
-        // The optimum keep ratio is 0.25; BO should land near it.
+        // The optimum mean keep ratio is 0.25; BO should land near it.
         assert!(
-            (result.best.keep_ratio - 0.25).abs() <= 0.1,
-            "best keep ratio {} too far from optimum",
-            result.best.keep_ratio
+            (result.best.mean_keep() - 0.25).abs() <= 0.1,
+            "best mean keep ratio {} too far from optimum",
+            result.best.mean_keep()
         );
     }
 

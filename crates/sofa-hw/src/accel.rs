@@ -72,6 +72,32 @@ impl AttentionTask {
         }
     }
 
+    /// Lowers one layer of a request shape at an operating point: the task
+    /// runs at `op`'s keep ratio and tile size for `layer`. This is the
+    /// lowering entry point the serving and DSE layers use — scalar
+    /// `(keep, Bc)` pairs only exist inside `OperatingPoint` constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or any dimension is zero.
+    pub fn at_layer(
+        queries: usize,
+        seq_len: usize,
+        hidden: usize,
+        heads: usize,
+        op: &sofa_model::OperatingPoint,
+        layer: usize,
+    ) -> Self {
+        Self::new(
+            queries,
+            seq_len,
+            hidden,
+            heads,
+            op.keep(layer),
+            op.tile(layer),
+        )
+    }
+
     /// Builds a task from a model configuration (one layer, all heads).
     pub fn from_model(
         cfg: &ModelConfig,

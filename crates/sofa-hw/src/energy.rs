@@ -29,6 +29,13 @@ pub fn total_core_power_w() -> f64 {
     Module::ALL.iter().map(|&m| module_power_mw(m)).sum::<f64>() / 1000.0
 }
 
+/// Energy charged per DRAM request issued by the cycle simulator (row
+/// activation + command overhead, ~1 nJ for an HBM2-class burst). Fine
+/// tilings issue more, smaller requests for the same traffic; this term is
+/// what makes that overhead visible to the energy objective of the DSE
+/// evaluator and to the serving layer's per-request energy projections.
+pub const DRAM_ACTIVATION_PJ: f64 = 1000.0;
+
 /// Energy cost in picojoules of one primitive operation at 16-bit precision,
 /// 28 nm (Horowitz-style numbers; shifts and compares are cheap, exp/div are
 /// modelled as multi-cycle LUT+multiply units).

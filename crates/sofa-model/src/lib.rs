@@ -18,6 +18,9 @@
 //! * [`trace`] — serving request streams: mixed prefill/decode requests with
 //!   Poisson-ish arrivals, deterministically generated for the scheduling
 //!   experiments.
+//! * [`operating_point`] — the cross-stage [`OperatingPoint`] (per-layer
+//!   keep ratios + tile sizes), the shared currency every lowering entry
+//!   point in the workspace consumes instead of scalar `(keep, Bc)` pairs.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 
 pub mod config;
 pub mod distribution;
+pub mod operating_point;
 pub mod profile;
 pub mod suite;
 pub mod trace;
@@ -39,6 +43,7 @@ pub mod workload;
 
 pub use config::{ModelConfig, ModelFamily};
 pub use distribution::{DistributionType, ScoreDistribution};
+pub use operating_point::OperatingPoint;
 pub use suite::{benchmark_suite, Benchmark};
 pub use trace::{RequestClass, RequestSpec, RequestTrace, TraceConfig};
 pub use workload::{AttentionWorkload, ScoreWorkload};

@@ -6,17 +6,21 @@
 //! instances that share a DRAM channel (`sofa_sim::multi`), under a
 //! continuous-batching admission scheduler.
 //!
-//! * [`scheduler`] — [`ServeSim`]: lowers requests to per-request tile
-//!   streams, admits them against a per-instance buffer budget (with
-//!   optional Tailors-style overbooking of the sparsity-reduced footprint),
-//!   balances load across instances, and ages waiting requests so none
-//!   starves.
+//! * [`scheduler`] — [`ServeSim`]: routes each request to an
+//!   `OperatingPoint` ([`OpRouter`]: trace-native, fixed, or per-class
+//!   Pareto routing through a DSE front), lowers it layer by layer into a
+//!   tile stream, admits it against a per-instance buffer budget (with
+//!   optional Tailors-style overbooking of the sparsity-reduced footprint)
+//!   and a per-request energy budget (re-routing or shedding over-budget
+//!   requests), balances load across instances, and ages waiting requests
+//!   so none starves.
 //! * [`report`] — [`ServeReport`]: per-request latency percentiles
-//!   (p50/p95/p99), queueing delay, per-instance utilization, DRAM-sharing
-//!   statistics.
-//! * [`ab`] — [`DseServeComparison`]: serve the same trace with a DSE-tuned
-//!   `(keep ratio, tile size)` operating point (`sofa_dse::DseReport`) next
-//!   to the paper default, for side-by-side latency/throughput comparison.
+//!   (p50/p95/p99), queueing delay, projected energy (J/req), per-instance
+//!   utilization, DRAM-sharing statistics, shed requests.
+//! * [`routing`] — [`DseServeComparison`] / [`RoutedServeStudy`]: serve the
+//!   same trace at the paper-default point, a DSE-tuned point, and
+//!   per-request Pareto routing (`sofa_dse::DseReport`), for side-by-side
+//!   latency/energy comparison.
 //!
 //! # Example
 //!
@@ -36,10 +40,10 @@
 //! assert!(report.p99() >= report.p50());
 //! ```
 
-pub mod ab;
 pub mod report;
+pub mod routing;
 pub mod scheduler;
 
-pub use ab::DseServeComparison;
-pub use report::{RequestRecord, ServeReport};
-pub use scheduler::{AdmitPolicy, ServeConfig, ServeSim};
+pub use report::{RequestRecord, ServeReport, ShedRecord};
+pub use routing::{DseServeComparison, RoutedServeStudy};
+pub use scheduler::{AdmitPolicy, OpRouter, ServeConfig, ServeSim};

@@ -4,7 +4,7 @@ use sofa_model::trace::RequestClass;
 use sofa_sim::MultiReport;
 
 /// The lifecycle timestamps of one served request (all in cycles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
     /// Trace id of the request.
     pub id: u64,
@@ -20,6 +20,26 @@ pub struct RequestRecord {
     pub completed: u64,
     /// Buffer bytes admission control accounted for the request.
     pub footprint_bytes: u64,
+    /// Projected energy of the request (all layers of its operating point)
+    /// in picojoules, from the DSE energy model.
+    pub energy_pj: f64,
+    /// Whether the energy budget re-routed the request to a leaner
+    /// operating point before admission.
+    pub rerouted: bool,
+}
+
+/// A request the energy budget rejected: even the leanest available
+/// operating point projected above the per-request ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedRecord {
+    /// Trace id of the request.
+    pub id: u64,
+    /// Prefill or decode.
+    pub class: RequestClass,
+    /// When the request arrived at the scheduler.
+    pub arrival: u64,
+    /// The (over-budget) projected energy at the leanest point tried.
+    pub energy_pj: f64,
 }
 
 impl RequestRecord {
@@ -42,8 +62,11 @@ impl RequestRecord {
 /// The outcome of serving one request trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
-    /// Per-request lifecycle records, in trace order.
+    /// Per-request lifecycle records of the *served* requests, in trace
+    /// order.
     pub records: Vec<RequestRecord>,
+    /// Requests the energy budget shed instead of admitting.
+    pub shed: Vec<ShedRecord>,
     /// The underlying multi-instance simulation accounting (per-instance
     /// stage activity, shared-DRAM statistics).
     pub multi: MultiReport,
@@ -54,6 +77,8 @@ pub struct ServeReport {
     pub budget_bytes: u64,
     /// Highest concurrently-admitted footprint observed per instance.
     pub peak_inflight_bytes: Vec<u64>,
+    /// Projected energy admitted onto each instance in picojoules.
+    pub energy_pj_per_instance: Vec<f64>,
 }
 
 impl ServeReport {
@@ -119,6 +144,25 @@ impl ServeReport {
         self.records.iter().filter(|r| r.instance == i).count()
     }
 
+    /// Total projected energy of the served requests in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_pj).sum()
+    }
+
+    /// Mean projected energy per served request in picojoules — the J/req
+    /// axis the routing gate tracks.
+    pub fn energy_pj_per_request(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.total_energy_pj() / self.records.len() as f64
+    }
+
+    /// Requests the energy budget re-routed to a leaner point.
+    pub fn rerouted_requests(&self) -> usize {
+        self.records.iter().filter(|r| r.rerouted).count()
+    }
+
     /// A compact human-readable summary.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -134,6 +178,13 @@ impl ServeReport {
             self.p95(),
             self.p99(),
             self.mean_queueing_delay(),
+        ));
+        out.push_str(&format!(
+            "energy {:.1} nJ total, {:.1} nJ/req  rerouted {}  shed {}\n",
+            self.total_energy_pj() / 1e3,
+            self.energy_pj_per_request() / 1e3,
+            self.rerouted_requests(),
+            self.shed.len(),
         ));
         for (i, act) in self.multi.instances.iter().enumerate() {
             out.push_str(&format!(
@@ -169,6 +220,8 @@ mod tests {
             admitted,
             completed,
             footprint_bytes: 100,
+            energy_pj: 500.0,
+            rerouted: false,
         }
     }
 
@@ -176,6 +229,7 @@ mod tests {
         let n = records.len();
         ServeReport {
             records,
+            shed: Vec::new(),
             multi: MultiReport {
                 total_cycles: 1000,
                 instances: vec![InstanceActivity {
@@ -198,6 +252,7 @@ mod tests {
             total_cycles: 1000,
             budget_bytes: 1000,
             peak_inflight_bytes: vec![300],
+            energy_pj_per_instance: vec![500.0 * n as f64],
         }
     }
 
@@ -223,6 +278,9 @@ mod tests {
         assert!((r.instance_utilization(0) - 0.5).abs() < 1e-12);
         assert!((r.mean_utilization() - 0.5).abs() < 1e-12);
         assert_eq!(r.requests_on(0), 2);
+        assert!((r.total_energy_pj() - 1000.0).abs() < 1e-12);
+        assert!((r.energy_pj_per_request() - 500.0).abs() < 1e-12);
+        assert_eq!(r.rerouted_requests(), 0);
     }
 
     #[test]
@@ -232,6 +290,7 @@ mod tests {
         assert!(s.contains("p50"));
         assert!(s.contains("instance 0"));
         assert!(s.contains("dram"));
+        assert!(s.contains("nJ/req"));
     }
 
     #[test]

@@ -8,6 +8,23 @@
 //! continuous batching at tile granularity: an instance never drains between
 //! requests, new tiles enter right behind the previous request's.
 //!
+//! **Operating points.** Every request is lowered at an [`OperatingPoint`]
+//! chosen by an [`OpRouter`] — the trace's native keep ratios on the
+//! deployment tiling, one fixed point, or per-class Pareto routing through a
+//! DSE front ([`sofa_dse::ParetoFront`]). A multi-layer point lowers the
+//! request once per layer, switching keep ratio and tile size between the
+//! layer invocations, and streams the concatenated tile sequence through the
+//! instance. Scalar `(keep, Bc)` pairs never enter the lowering.
+//!
+//! **Energy budget.** Lowering projects each request's energy from the DSE
+//! energy model (analytic compute/SRAM/interface/DRAM energy plus the
+//! per-DRAM-request activation charge). When the configured per-request
+//! budget ([`ServeConfig::energy_budget_pj_per_req`]) is exceeded, the
+//! scheduler re-routes the request to the front's energy-leanest point; a
+//! request that exceeds the budget even there is **shed** — recorded in
+//! [`ServeReport::shed`] instead of being admitted. Admitted energy is
+//! tracked per instance.
+//!
 //! Admission is buffer-budgeted. Classic worst-case sizing reserves, per
 //! admitted request, the SRAM a *dense* request would pin — but after the
 //! prediction stage, top-k sparsity means the real resident footprint is a
@@ -19,10 +36,13 @@
 //! [`ServeConfig::aging_threshold`], in which case the oldest starved
 //! request is served first.
 
-use crate::report::{RequestRecord, ServeReport};
+use crate::report::{RequestRecord, ServeReport, ShedRecord};
+use sofa_dse::ParetoFront;
 use sofa_hw::accel::AttentionTask;
 use sofa_hw::config::HwConfig;
-use sofa_model::trace::{RequestClass, RequestTrace};
+use sofa_hw::energy::DRAM_ACTIVATION_PJ;
+use sofa_model::trace::{RequestClass, RequestSpec, RequestTrace};
+use sofa_model::OperatingPoint;
 use sofa_sim::{CycleSim, MultiPipelineSim, PipelineJob, SimParams};
 
 /// How the scheduler picks the next waiting request.
@@ -35,17 +55,56 @@ pub enum AdmitPolicy {
     SmallestFirst,
 }
 
+/// How each request's operating point is chosen at admission time.
+#[derive(Debug, Clone, Copy)]
+pub enum OpRouter<'a> {
+    /// The trace's native keep ratios on the deployment tiling
+    /// ([`ServeConfig::op`] with each request's keep substituted).
+    TraceNative,
+    /// One fixed operating point for every request (single-point tuned
+    /// deployments, paper-default baselines).
+    Fixed(&'a OperatingPoint),
+    /// Per-class routing through a DSE Pareto front: latency-lean points for
+    /// decodes, energy-lean points for prefills
+    /// ([`ParetoFront::route`]).
+    Pareto(&'a ParetoFront),
+}
+
+impl OpRouter<'_> {
+    /// The operating point this router assigns to `spec`.
+    fn pick(&self, deployment: &OperatingPoint, spec: &RequestSpec) -> OperatingPoint {
+        match self {
+            OpRouter::TraceNative => deployment.with_uniform_keep(spec.keep_ratio),
+            OpRouter::Fixed(op) => (*op).clone(),
+            OpRouter::Pareto(front) => front.route(&spec.class),
+        }
+    }
+
+    /// The leaner point an over-budget request is re-routed to, when the
+    /// router has one (only Pareto routing does).
+    fn leaner(&self) -> Option<OperatingPoint> {
+        match self {
+            OpRouter::Pareto(front) => Some(front.leanest_energy()),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the serving layer.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Hardware configuration of every instance.
     pub hw: HwConfig,
     /// Microarchitectural simulation parameters (shared by all instances).
+    /// [`ServeConfig::new`] enables the calibrated DRAM command occupancy so
+    /// routing decisions see request-granularity DRAM effects.
     pub sim: SimParams,
     /// Number of accelerator instances.
     pub instances: usize,
-    /// Cross-stage tile size requests are lowered with.
-    pub tile_size: usize,
+    /// The deployment operating point: the tiling requests are lowered with
+    /// when no router overrides it (trace-native runs substitute each
+    /// request's keep ratio into this point).
+    pub op: OperatingPoint,
     /// Per-instance admission budget in bytes (defaults to the token SRAM).
     pub admit_buffer_bytes: u64,
     /// Budget relaxation factor (≥ 1): `budget = admit_buffer_bytes ×
@@ -60,25 +119,34 @@ pub struct ServeConfig {
     pub aging_threshold: u64,
     /// Pick order among waiting requests.
     pub policy: AdmitPolicy,
+    /// Per-request energy ceiling in picojoules (the per-instance J/req
+    /// budget from the DSE energy model). `None` disables the energy path;
+    /// with a budget, over-budget requests are re-routed to the router's
+    /// leanest point and shed if still over.
+    pub energy_budget_pj_per_req: Option<f64>,
 }
 
 impl ServeConfig {
     /// A serving setup of `instances` copies of `hw` with the defaults:
     /// smallest-first admission on measured footprints, no overbooking,
-    /// aging after 100k cycles, DRAM priority aging after 4 burst latencies.
+    /// aging after 100k cycles, DRAM priority aging after 4 burst latencies,
+    /// calibrated DRAM command occupancy, a single-layer deployment point at
+    /// the trace-default keep and `Bc = 32`, and no energy budget.
     pub fn new(hw: HwConfig, instances: usize) -> Self {
         let mut sim = SimParams::default();
         sim.dram_age_threshold = 4 * sim.burst_latency;
+        let sim = sim.with_dram_command_calibration(&hw);
         ServeConfig {
             hw,
             sim,
             instances,
-            tile_size: 32,
+            op: OperatingPoint::single(0.25, 32),
             admit_buffer_bytes: hw.token_sram_bytes as u64,
             overbook: 1.0,
             predicted_footprint: true,
             aging_threshold: 100_000,
             policy: AdmitPolicy::SmallestFirst,
+            energy_budget_pj_per_req: None,
         }
     }
 
@@ -96,14 +164,16 @@ impl ServeConfig {
         if self.instances == 0 {
             return Err("instances must be positive".into());
         }
-        if self.tile_size == 0 {
-            return Err("tile_size must be positive".into());
-        }
         if self.admit_buffer_bytes == 0 {
             return Err("admit_buffer_bytes must be positive".into());
         }
         if self.overbook < 1.0 || self.overbook.is_nan() {
             return Err("overbook must be >= 1".into());
+        }
+        if let Some(b) = self.energy_budget_pj_per_req {
+            if b <= 0.0 || b.is_nan() {
+                return Err("energy budget must be positive".into());
+            }
         }
         Ok(())
     }
@@ -115,8 +185,15 @@ struct Lowered {
     class: RequestClass,
     arrival: u64,
     job: PipelineJob,
-    /// Bytes admission control books for the request.
+    /// Bytes admission control books for the request (the worst layer).
     footprint: u64,
+    /// Projected energy of the whole request (all layers) in picojoules.
+    energy_pj: f64,
+    /// Whether the energy budget re-routed this request to a leaner point.
+    rerouted: bool,
+    /// `false` when the request exceeded the energy budget even at the
+    /// leanest point and was shed instead of admitted.
+    admit: bool,
 }
 
 /// The continuous-batching serving simulator.
@@ -141,62 +218,122 @@ impl ServeSim {
         &self.cfg
     }
 
-    /// Lowers one request of `trace` into its pipeline job and admission
-    /// footprint.
+    /// Lowers one request at `op`: one pipeline job per layer, concatenated
+    /// into a single tile stream, plus the admission footprint and the
+    /// projected energy.
     ///
-    /// The footprint is the state an instance pins for the whole life of an
-    /// in-flight request (tiles merely stream through the ping-pong banks;
-    /// the per-request state is what limits concurrent admission): the query
-    /// block and the output accumulator (`T×H` 16-bit values each) plus
-    /// per-selected-key metadata — index and predicted score, 4 B per kept
-    /// Q-K pair. Worst-case sizing must budget for a dense selection (every
-    /// key kept); the *measured* footprint books only the `T×k` pairs the
-    /// prediction stage actually keeps — the capacity overbooking reclaims.
-    fn lower(&self, csim: &CycleSim, spec: &sofa_model::trace::RequestSpec) -> Lowered {
-        let task = AttentionTask::new(
-            spec.queries,
-            spec.seq_len,
-            spec.hidden,
-            spec.heads,
-            spec.keep_ratio,
-            self.cfg.tile_size,
-        );
-        let job = csim.job(&task, None);
+    /// The footprint is the state an instance pins for the life of an
+    /// in-flight layer (tiles merely stream through the ping-pong banks):
+    /// the query block and the output accumulator (`T×H` 16-bit values
+    /// each) plus per-selected-key metadata — index and predicted score,
+    /// 4 B per kept Q-K pair. Layers run back to back, so admission books
+    /// the worst layer. Worst-case sizing must budget for a dense selection
+    /// (every key kept); the *measured* footprint books only the `T×k`
+    /// pairs the prediction stage actually keeps — the capacity overbooking
+    /// reclaims.
+    ///
+    /// The energy projection follows the DSE evaluator's model: the
+    /// analytic compute/SRAM/interface/DRAM energy of each layer's task
+    /// plus [`DRAM_ACTIVATION_PJ`] per DRAM request the lowered job issues.
+    fn lower_at(&self, csim: &CycleSim, spec: &RequestSpec, op: &OperatingPoint) -> PointLowering {
         let t = spec.queries as u64;
         let h = spec.hidden as u64;
-        let kept_pairs = if self.cfg.predicted_footprint {
-            task.k() as u64
-        } else {
-            spec.seq_len as u64
+        let mut combined = PipelineJob {
+            work: Vec::new(),
+            cycles: Vec::new(),
         };
-        Lowered {
-            class: spec.class,
-            arrival: spec.arrival_cycle,
-            job,
-            footprint: t * h * 2 + t * h * 2 + t * kept_pairs * 4,
+        let mut footprint = 0u64;
+        let mut energy_pj = 0.0f64;
+        for layer in 0..op.layers() {
+            let task = AttentionTask::at_layer(
+                spec.queries,
+                spec.seq_len,
+                spec.hidden,
+                spec.heads,
+                op,
+                layer,
+            );
+            let job = csim.job(&task, None);
+            let requests = job.dram_requests();
+            let analytic = csim.accel.simulate(&task);
+            energy_pj += analytic.energy.total_j() * 1e12 + requests as f64 * DRAM_ACTIVATION_PJ;
+            let kept_pairs = if self.cfg.predicted_footprint {
+                task.k() as u64
+            } else {
+                spec.seq_len as u64
+            };
+            footprint = footprint.max(t * h * 2 + t * h * 2 + t * kept_pairs * 4);
+            combined.work.extend(job.work);
+            combined.cycles.extend(job.cycles);
+        }
+        PointLowering {
+            job: combined,
+            footprint,
+            energy_pj,
         }
     }
 
-    /// Serves `trace` to completion and reports per-request latencies,
-    /// queueing delays and per-instance utilization.
+    /// Lowers one request through `router`, applying the energy budget:
+    /// over-budget requests are re-routed to the router's leanest point,
+    /// and shed when they exceed the budget even there.
+    fn lower_routed(&self, csim: &CycleSim, spec: &RequestSpec, router: &OpRouter) -> Lowered {
+        let op = router.pick(&self.cfg.op, spec);
+        let mut lowering = self.lower_at(csim, spec, &op);
+        let mut rerouted = false;
+        let mut admit = true;
+        if let Some(budget) = self.cfg.energy_budget_pj_per_req {
+            if lowering.energy_pj > budget {
+                if let Some(lean) = router.leaner().filter(|lean| *lean != op) {
+                    lowering = self.lower_at(csim, spec, &lean);
+                    rerouted = true;
+                }
+                admit = lowering.energy_pj <= budget;
+            }
+        }
+        Lowered {
+            class: spec.class,
+            arrival: spec.arrival_cycle,
+            job: lowering.job,
+            footprint: lowering.footprint,
+            energy_pj: lowering.energy_pj,
+            rerouted,
+            admit,
+        }
+    }
+
+    /// Serves `trace` with every request lowered at the trace's native keep
+    /// ratio on the deployment tiling ([`OpRouter::TraceNative`]).
     ///
     /// # Panics
     ///
     /// Panics if `trace` is empty.
     pub fn run(&self, trace: &RequestTrace) -> ServeReport {
+        self.run_with(trace, OpRouter::TraceNative)
+    }
+
+    /// Serves `trace` to completion under `router` and reports per-request
+    /// latencies, queueing delays, energy and per-instance utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn run_with(&self, trace: &RequestTrace, router: OpRouter) -> ServeReport {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
         let mut csim = CycleSim::new(self.cfg.hw);
         csim.params = self.cfg.sim;
-        // Lowering a request (descriptor generation + per-tile cycle
-        // apportioning) is a pure function of the spec, so the whole trace
-        // fans out across cores before the serial event loop; order is
-        // preserved, so the simulation is oblivious to the thread count.
-        let lowered: Vec<Lowered> =
-            sofa_par::par_map(&trace.requests, |spec| self.lower(&csim, spec));
+        // Lowering a request (routing, descriptor generation, per-tile cycle
+        // apportioning, energy projection) is a pure function of the spec,
+        // so the whole trace fans out across cores before the serial event
+        // loop; order is preserved, so the simulation is oblivious to the
+        // thread count.
+        let lowered: Vec<Lowered> = sofa_par::par_map(&trace.requests, |spec| {
+            self.lower_routed(&csim, spec, &router)
+        });
 
         let n = self.cfg.instances;
         let mut msim = MultiPipelineSim::new(&self.cfg.hw, n, self.cfg.sim);
         let mut state = AdmissionState::new(n, lowered.len());
+        let mut shed: Vec<ShedRecord> = Vec::new();
         let mut next_arrival = 0usize;
 
         loop {
@@ -212,7 +349,17 @@ impl ServeSim {
             };
             if arrival_first {
                 let now = arrival.expect("arrival_first implies an arrival");
-                state.waiting.push(next_arrival);
+                let req = &lowered[next_arrival];
+                if req.admit {
+                    state.waiting.push(next_arrival);
+                } else {
+                    shed.push(ShedRecord {
+                        id: next_arrival as u64,
+                        class: req.class,
+                        arrival: req.arrival,
+                        energy_pj: req.energy_pj,
+                    });
+                }
                 next_arrival += 1;
                 self.try_admit(now, &lowered, &mut state, &mut msim);
             } else {
@@ -227,30 +374,37 @@ impl ServeSim {
             }
         }
 
-        assert!(
-            state.completed_at.iter().all(|&t| t != u64::MAX),
-            "every request must complete"
-        );
         let records = lowered
             .iter()
             .enumerate()
-            .map(|(i, req)| RequestRecord {
-                id: i as u64,
-                class: req.class,
-                instance: state.placed_on[i],
-                arrival: req.arrival,
-                admitted: state.admitted_at[i],
-                completed: state.completed_at[i],
-                footprint_bytes: req.footprint,
+            .filter(|(_, req)| req.admit)
+            .map(|(i, req)| {
+                assert!(
+                    state.completed_at[i] != u64::MAX,
+                    "every admitted request must complete"
+                );
+                RequestRecord {
+                    id: i as u64,
+                    class: req.class,
+                    instance: state.placed_on[i],
+                    arrival: req.arrival,
+                    admitted: state.admitted_at[i],
+                    completed: state.completed_at[i],
+                    footprint_bytes: req.footprint,
+                    energy_pj: req.energy_pj,
+                    rerouted: req.rerouted,
+                }
             })
             .collect();
         let multi = msim.report();
         ServeReport {
             records,
+            shed,
             total_cycles: multi.total_cycles,
             multi,
             budget_bytes: self.cfg.budget_bytes(),
             peak_inflight_bytes: state.peak_inflight,
+            energy_pj_per_instance: state.energy_pj,
         }
     }
 
@@ -304,21 +458,31 @@ impl ServeSim {
             state.inflight_bytes[inst] += fp;
             state.inflight_reqs[inst] += 1;
             state.peak_inflight[inst] = state.peak_inflight[inst].max(state.inflight_bytes[inst]);
+            state.energy_pj[inst] += lowered[req].energy_pj;
             state.placed_on[req] = inst;
             state.admitted_at[req] = now;
         }
     }
 }
 
-/// Mutable scheduling state of one [`ServeSim::run`]: the wait queue (in
-/// arrival order), per-instance booked bytes and request counts, and the
-/// per-request placement/lifecycle slots filled in as the run progresses.
+/// One request lowered at one operating point (pre-budget).
+struct PointLowering {
+    job: PipelineJob,
+    footprint: u64,
+    energy_pj: f64,
+}
+
+/// Mutable scheduling state of one [`ServeSim::run_with`]: the wait queue
+/// (in arrival order), per-instance booked bytes / request counts / admitted
+/// energy, and the per-request placement/lifecycle slots filled in as the
+/// run progresses.
 #[derive(Debug)]
 struct AdmissionState {
     waiting: Vec<usize>,
     inflight_bytes: Vec<u64>,
     inflight_reqs: Vec<usize>,
     peak_inflight: Vec<u64>,
+    energy_pj: Vec<f64>,
     placed_on: Vec<usize>,
     admitted_at: Vec<u64>,
     completed_at: Vec<u64>,
@@ -331,6 +495,7 @@ impl AdmissionState {
             inflight_bytes: vec![0; instances],
             inflight_reqs: vec![0; instances],
             peak_inflight: vec![0; instances],
+            energy_pj: vec![0.0; instances],
             placed_on: vec![usize::MAX; requests],
             admitted_at: vec![u64::MAX; requests],
             completed_at: vec![u64::MAX; requests],
@@ -345,7 +510,7 @@ mod tests {
 
     fn small_cfg(instances: usize) -> ServeConfig {
         let mut cfg = ServeConfig::new(HwConfig::small(), instances);
-        cfg.tile_size = 64;
+        cfg.op = OperatingPoint::single(0.25, 64);
         cfg
     }
 
@@ -362,10 +527,13 @@ mod tests {
     fn serves_every_request_exactly_once() {
         let report = ServeSim::new(small_cfg(2)).run(&small_trace(24, 40.0, 1));
         assert_eq!(report.records.len(), 24);
+        assert!(report.shed.is_empty(), "no budget, nothing shed");
         for r in &report.records {
             assert!(r.admitted >= r.arrival, "admission precedes arrival");
             assert!(r.completed > r.admitted, "completion precedes admission");
             assert!(r.instance < 2);
+            assert!(r.energy_pj > 0.0, "every request projects energy");
+            assert!(!r.rerouted, "nothing re-routes without a budget");
         }
         let placed: usize = (0..2).map(|i| report.requests_on(i)).sum();
         assert_eq!(placed, 24);
@@ -378,6 +546,10 @@ mod tests {
                 .sum::<usize>(),
             24
         );
+        // Admitted energy is conserved across instances.
+        let per_instance: f64 = report.energy_pj_per_instance.iter().sum();
+        let per_request: f64 = report.records.iter().map(|r| r.energy_pj).sum();
+        assert!((per_instance - per_request).abs() < 1e-6);
     }
 
     #[test]
@@ -465,20 +637,21 @@ mod tests {
     fn trace_dram_traffic_is_conserved() {
         let cfg = small_cfg(3);
         let trace = small_trace(20, 100.0, 21);
-        let report = ServeSim::new(cfg).run(&trace);
+        let report = ServeSim::new(cfg.clone()).run(&trace);
         let mut csim = CycleSim::new(cfg.hw);
         csim.params = cfg.sim;
         let want: u64 = trace
             .requests
             .iter()
             .map(|spec| {
-                let task = AttentionTask::new(
+                let op = cfg.op.with_uniform_keep(spec.keep_ratio);
+                let task = AttentionTask::at_layer(
                     spec.queries,
                     spec.seq_len,
                     spec.hidden,
                     spec.heads,
-                    spec.keep_ratio,
-                    cfg.tile_size,
+                    &op,
+                    0,
                 );
                 csim.job(&task, None).total_dram_bytes()
             })
@@ -487,10 +660,63 @@ mod tests {
     }
 
     #[test]
+    fn multi_layer_lowering_concatenates_the_layer_streams() {
+        // A two-layer fixed point must stream both layers' tiles: double the
+        // single-layer DRAM traffic when the layers are identical.
+        let cfg = small_cfg(1);
+        let trace = small_trace(6, 50.0, 31);
+        let sim = ServeSim::new(cfg);
+        let one = OperatingPoint::single(0.25, 64);
+        let two = OperatingPoint::uniform(0.25, 64, 2);
+        let r1 = sim.run_with(&trace, OpRouter::Fixed(&one));
+        let r2 = sim.run_with(&trace, OpRouter::Fixed(&two));
+        assert_eq!(
+            r2.multi.dram.total_bytes(),
+            2 * r1.multi.dram.total_bytes(),
+            "two identical layers move twice the bytes"
+        );
+        assert!(r2.total_cycles > r1.total_cycles);
+        // Energy doubles with the layers too.
+        let sum = |r: &ServeReport| r.records.iter().map(|x| x.energy_pj).sum::<f64>();
+        assert!((sum(&r2) - 2.0 * sum(&r1)).abs() < 1e-6 * sum(&r2));
+    }
+
+    #[test]
+    fn energy_budget_sheds_what_even_the_leanest_point_exceeds() {
+        // A fixed router has no leaner point to fall back to: every request
+        // over the (absurdly small) budget is shed, decodes stay under it.
+        let trace = small_trace(16, 80.0, 17);
+        let mut cfg = small_cfg(1);
+        // Between a decode's projection (~9–19 µJ at this shape) and a
+        // prefill's (~28 µJ).
+        let budget = 2.0e7;
+        cfg.energy_budget_pj_per_req = Some(budget);
+        let sim = ServeSim::new(cfg);
+        let report = sim.run(&trace);
+        assert!(!report.shed.is_empty(), "prefills must exceed the budget");
+        assert!(
+            report.shed.iter().all(|s| s.class == RequestClass::Prefill),
+            "only the bulky prefills exceed this budget"
+        );
+        assert_eq!(report.records.len() + report.shed.len(), trace.len());
+        for r in &report.records {
+            assert!(r.energy_pj <= budget);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid serve config")]
     fn underbooking_is_rejected() {
         let mut cfg = small_cfg(1);
         cfg.overbook = 0.5;
+        let _ = ServeSim::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve config")]
+    fn non_positive_energy_budget_is_rejected() {
+        let mut cfg = small_cfg(1);
+        cfg.energy_budget_pj_per_req = Some(0.0);
         let _ = ServeSim::new(cfg);
     }
 }

@@ -29,6 +29,39 @@
 
 use std::collections::VecDeque;
 
+/// Calibrates the per-request command occupancy ([`DramChannel`]'s
+/// `command_cycles`) against the burst-latency model instead of hardwiring a
+/// value.
+///
+/// The model: `burst_latency` is the request→first-data-beat delay
+/// (≈ tRCD + tCL at the simulator's clock), and an HBM2-class row cycle tRC
+/// — the time the bank and command bus are held per activation — is about
+/// 1.5× that. A request therefore occupies the channel for the part of tRC
+/// the data transfer does not cover. The calibration sweeps candidate
+/// occupancies (0, ⅛, ¼, ½ and 1× the burst latency) and picks the one whose
+/// implied single-burst channel time `command + transfer + burst_latency`
+/// lands closest to the tRC target for a reference 64-byte burst, preferring
+/// the smaller candidate on ties.
+///
+/// At the paper-default timing (64-cycle burst latency, ~60 B/cycle) this
+/// selects **32 cycles** — the value the hardware-aware DSE evaluator used
+/// to hardwire, now derived and shared with the serving simulations.
+pub fn calibrate_dram_command_cycles(burst_latency: u64, bytes_per_cycle: f64) -> u64 {
+    assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+    let target = burst_latency + burst_latency / 2; // tRC ≈ 1.5 × first-beat latency
+    let transfer = (64.0 / bytes_per_cycle).ceil() as u64; // one 64 B burst
+    [
+        0,
+        burst_latency / 8,
+        burst_latency / 4,
+        burst_latency / 2,
+        burst_latency,
+    ]
+    .into_iter()
+    .min_by_key(|&c| ((c + transfer + burst_latency).abs_diff(target), c))
+    .expect("candidate sweep is non-empty")
+}
+
 /// One queued DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramRequest {
@@ -259,6 +292,18 @@ mod tests {
             bytes,
             write: false,
         }
+    }
+
+    #[test]
+    fn calibration_matches_the_paper_default_timing() {
+        // 64-cycle burst latency at ~60 B/cycle: the sweep must land on the
+        // half-latency candidate the DSE evaluator used to hardwire.
+        assert_eq!(calibrate_dram_command_cycles(64, 59.8), 32);
+        // A channel so slow that the transfer alone covers the row cycle
+        // needs no extra command occupancy.
+        assert_eq!(calibrate_dram_command_cycles(64, 2.0), 0);
+        // Calibration scales with the burst latency.
+        assert_eq!(calibrate_dram_command_cycles(128, 59.8), 64);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod pingpong;
 pub mod report;
 pub mod sim;
 
+pub use dram::calibrate_dram_command_cycles;
 pub use multi::{Completion, InstanceActivity, MultiPipelineSim, MultiReport, Step};
 pub use report::{CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry};
 pub use sim::{CycleSim, PipelineJob, SimParams};

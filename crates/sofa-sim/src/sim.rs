@@ -59,6 +59,24 @@ pub struct SimParams {
     pub dram_command_cycles: u64,
 }
 
+impl SimParams {
+    /// Returns these parameters with `dram_command_cycles` calibrated
+    /// against the burst-latency model for `cfg`'s bandwidth
+    /// ([`crate::dram::calibrate_dram_command_cycles`]). At the
+    /// paper-default timing the calibration lands on 32 cycles. The DSE
+    /// evaluator and the serving simulations both run with this enabled, so
+    /// request-granularity DRAM effects (many small scattered fetches under
+    /// fine tilings) are visible to the latency percentiles and to routing
+    /// decisions; the plain [`Default`] keeps the classic bandwidth-only
+    /// channel for the single-task experiments and their goldens.
+    pub fn with_dram_command_calibration(mut self, cfg: &HwConfig) -> Self {
+        let bytes_per_cycle = cfg.dram_bandwidth_bps / cfg.freq_hz;
+        self.dram_command_cycles =
+            crate::dram::calibrate_dram_command_cycles(self.burst_latency, bytes_per_cycle);
+        self
+    }
+}
+
 impl Default for SimParams {
     fn default() -> Self {
         SimParams {
@@ -239,6 +257,25 @@ impl PipelineJob {
     /// Total DRAM bytes the job moves across all tiles and stages.
     pub fn total_dram_bytes(&self) -> u64 {
         self.work.iter().map(|w| w.total_dram_bytes()).sum()
+    }
+
+    /// Number of DRAM requests the job issues: one per non-empty traffic
+    /// stream (prediction read, KV read, extra formal read, writeback) per
+    /// tile. The shared request count behind the per-request activation
+    /// energy charge of the DSE evaluator and the serving layer's energy
+    /// projections — keeping them on one definition keeps the energy model
+    /// the routing decisions trust consistent with the one that built the
+    /// Pareto front.
+    pub fn dram_requests(&self) -> u64 {
+        self.work
+            .iter()
+            .map(|w| {
+                u64::from(w.pred_read_bytes > 0)
+                    + u64::from(w.kv_read_bytes > 0)
+                    + u64::from(w.extra_formal_read_bytes > 0)
+                    + u64::from(w.write_bytes > 0)
+            })
+            .sum()
     }
 
     /// The largest per-tile DRAM footprint — the bytes one resident tile of

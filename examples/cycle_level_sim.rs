@@ -14,19 +14,17 @@
 use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
 use sofa_hw::accel::AttentionTask;
 use sofa_hw::config::HwConfig;
-use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_model::{AttentionWorkload, OperatingPoint, ScoreDistribution};
 use sofa_sim::report::STAGE_NAMES;
 use sofa_sim::CycleSim;
 
 fn main() {
     // 1. Run the algorithm pipeline to get a real selection mask.
-    let tile_size = 16;
-    let keep = 0.25;
+    let op = OperatingPoint::single(0.25, 16);
     let workload =
         AttentionWorkload::generate(&ScoreDistribution::llama_like(), 32, 512, 64, 64, 7);
-    let config = PipelineConfig::new(keep, tile_size).expect("valid configuration");
-    let result = SofaPipeline::new(config).run(&workload);
-    let stats = result.tile_selection_stats(tile_size);
+    let result = SofaPipeline::new(PipelineConfig::for_layer(&op, 0)).run(&workload);
+    let stats = result.tile_selection_stats(op.tile(0));
 
     println!("SOFA cycle-level simulation");
     println!("  workload             : 32 queries x 512 keys (Llama-like scores)");
@@ -41,7 +39,7 @@ fn main() {
     );
 
     // 2. Replay the same task cycle by cycle, driven by the measured stats.
-    let task = AttentionTask::new(32, 512, 64 * 64, 64, keep, tile_size);
+    let task = AttentionTask::at_layer(32, 512, 64 * 64, 64, &op, 0);
     let sim = CycleSim::new(HwConfig::paper_default());
     let report = sim.run_with_stats(&task, Some(&stats));
     let analytic = sim.accel.simulate(&task);

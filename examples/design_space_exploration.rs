@@ -34,11 +34,7 @@ fn main() {
 
     let report = hardware_aware_search(&evaluator, &DseSearchConfig::quick(11));
     let d = &report.paper_default;
-    println!(
-        "\nPaper default (keep {:.0}%, Bc {:?}):",
-        d.candidate.keep_ratio * 100.0,
-        d.candidate.tile_sizes
-    );
+    println!("\nPaper default ({}):", d.candidate.operating_point());
     let show = |e: &sofa_dse::CandidateEval| {
         format!(
             "loss {:.4}  cycles {:>6.1}k  energy {:>7.1} nJ  area {:.2} mm2",
@@ -58,19 +54,18 @@ fn main() {
         report.dominating().len()
     );
     for e in report.dominating() {
-        println!(
-            "  keep {:>4.0}%  Bc {:?}  {}",
-            e.candidate.keep_ratio * 100.0,
-            e.candidate.tile_sizes,
-            show(e)
-        );
+        println!("  {}  {}", e.candidate.operating_point(), show(e));
     }
     println!(
-        "\nTuned recommendation: keep {:.0}%, Bc {:?}",
-        report.best.candidate.keep_ratio * 100.0,
-        report.best.candidate.tile_sizes
+        "\nTuned recommendation: {}",
+        report.best.candidate.operating_point()
     );
     println!("  {}", show(&report.best));
+    println!(
+        "Per-class routes: decode -> {}; prefill -> {}",
+        report.route(&sofa_model::trace::RequestClass::Decode),
+        report.route(&sofa_model::trace::RequestClass::Prefill),
+    );
 
     // Close the loop: serve the same trace at the paper-default and tuned
     // operating points, under the timing model the tuner optimised against.
@@ -81,29 +76,41 @@ fn main() {
     tc.prefill_queries = 32;
     let trace = RequestTrace::generate(&tc);
     let mut cfg = ServeConfig::new(HwConfig::paper_default(), 2);
-    cfg.tile_size = 16;
+    // The timing model the tuner optimised against: per-tile control
+    // overhead on top of the calibrated DRAM command occupancy the serve
+    // config already enables.
     cfg.sim.min_tile_cycles = sofa_dse::eval::TILE_CONTROL_CYCLES;
-    cfg.sim.dram_command_cycles = sofa_dse::eval::DRAM_COMMAND_CYCLES;
-    let cmp = ServeSim::new(cfg).run_ab(&trace, &report);
+    let sim = ServeSim::new(cfg);
+    let study = sim.run_routed_study(&trace, &report);
     println!(
-        "\nServing {} requests on 2 instances (paper-default vs tuned keep \
-         {:.0}% / Bc {}):",
+        "\nServing {} requests on 2 instances (tuned point {}):",
         trace.len(),
-        cmp.tuned_keep_ratio * 100.0,
-        cmp.tuned_tile_size
+        study.tuned_op
     );
-    for (name, r) in [("paper-default", &cmp.baseline), ("dse-tuned", &cmp.tuned)] {
+    for (name, r) in [
+        ("paper-default", &study.paper_default),
+        ("dse-tuned", &study.tuned),
+        ("pareto-routed", &study.routed),
+        ("routed+budget", &study.budgeted),
+    ] {
         println!(
-            "  {name:<13} p50 {:>6.1}k  p95 {:>6.1}k  makespan {:>7.1}k  {:.1} req/Mcyc",
+            "  {name:<13} p50 {:>6.1}k  p95 {:>6.1}k  makespan {:>7.1}k  \
+             {:.1} req/Mcyc  {:>6.2} uJ/req  rerouted {}  shed {}",
             r.p50() as f64 / 1e3,
             r.p95() as f64 / 1e3,
             r.total_cycles as f64 / 1e3,
-            r.throughput_per_mcycle()
+            r.throughput_per_mcycle(),
+            r.energy_pj_per_request() / 1e6,
+            r.rerouted_requests(),
+            r.shed.len(),
         );
     }
     println!(
-        "  tuned vs default: p95 {:.2}x, makespan {:.2}x",
-        cmp.p95_gain(),
-        cmp.makespan_gain()
+        "  routed vs default: p95 {:.2}x, J/req {:.2}x (budgeted runs cap \
+         each request at {:.2} uJ)",
+        study.paper_default.p95() as f64 / study.routed.p95().max(1) as f64,
+        study.paper_default.energy_pj_per_request()
+            / study.routed.energy_pj_per_request().max(1e-12),
+        study.budget_pj / 1e6,
     );
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use sofa::core::pipeline::{PipelineConfig, SofaPipeline};
-use sofa::model::{AttentionWorkload, ScoreDistribution};
+use sofa::model::{AttentionWorkload, OperatingPoint, ScoreDistribution};
 use std::time::Instant;
 
 fn main() {
@@ -22,7 +22,8 @@ fn main() {
             AttentionWorkload::generate(&ScoreDistribution::bert_like(), 16, 384, 64, 48, 2600 + i)
         })
         .collect();
-    let pipeline = SofaPipeline::new(PipelineConfig::new(0.25, 16).unwrap());
+    let op = OperatingPoint::single(0.25, 16);
+    let pipeline = SofaPipeline::new(PipelineConfig::for_layer(&op, 0));
 
     println!(
         "batch of {} workloads, default worker threads: {}\n",
@@ -30,12 +31,12 @@ fn main() {
         sofa::par::configured_threads()
     );
 
-    let reference = sofa::par::with_threads(1, || pipeline.run_batch(&workloads));
+    let reference = sofa::par::with_threads(1, || pipeline.run_batch(&op, &workloads));
     let mut base_ms = None;
     println!("threads  wall ms  speedup  bit-identical");
     for threads in [1usize, 2, 4, 8] {
         let start = Instant::now();
-        let batch = sofa::par::with_threads(threads, || pipeline.run_batch(&workloads));
+        let batch = sofa::par::with_threads(threads, || pipeline.run_batch(&op, &workloads));
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let identical = batch
             .iter()

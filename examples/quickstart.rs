@@ -7,7 +7,7 @@
 
 use sofa_core::accuracy::proxy_loss;
 use sofa_core::pipeline::{PipelineConfig, SofaPipeline};
-use sofa_model::{AttentionWorkload, ScoreDistribution};
+use sofa_model::{AttentionWorkload, OperatingPoint, ScoreDistribution};
 
 fn main() {
     // A BERT-like attention workload: 32 parallel queries, 512-token context.
@@ -15,8 +15,8 @@ fn main() {
         AttentionWorkload::generate(&ScoreDistribution::bert_like(), 32, 512, 64, 64, 42);
 
     // SOFA keeps 20 % of the Q-K pairs and tiles the stages in blocks of 16.
-    let config = PipelineConfig::new(0.2, 16).expect("valid configuration");
-    let result = SofaPipeline::new(config).run(&workload);
+    let op = OperatingPoint::single(0.2, 16);
+    let result = SofaPipeline::new(PipelineConfig::for_layer(&op, 0)).run(&workload);
 
     let dense = workload.dense_output();
     let loss = proxy_loss(&result.output, &dense);

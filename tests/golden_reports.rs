@@ -72,6 +72,15 @@ fn dse_pareto_json_is_byte_stable() {
 }
 
 #[test]
+fn serve_routed_json_is_byte_stable() {
+    // The routed-serving study (paper default vs tuned vs Pareto-routed vs
+    // budgeted routing) feeds CI regression gate 4; its table is a pure
+    // function of the pinned DSE report and trace.
+    let table = sofa_bench::experiments::serve_routed();
+    assert_matches_golden("serve_routed.json", &table.to_json());
+}
+
+#[test]
 fn golden_snapshots_are_valid_single_line_json_objects() {
     // A sanity net over the snapshot files themselves (they are consumed by
     // artifact tooling, not only by this test): non-empty, one line, object-
@@ -84,6 +93,7 @@ fn golden_snapshots_are_valid_single_line_json_objects() {
         "sim_cycle_vs_analytic.json",
         "serve_throughput_latency.json",
         "dse_pareto.json",
+        "serve_routed.json",
     ] {
         let text = std::fs::read_to_string(golden_path(name))
             .unwrap_or_else(|e| panic!("missing golden snapshot {name} ({e}); see module docs"));

@@ -22,15 +22,11 @@ fn config(instances: usize) -> ServeConfig {
     ServeConfig::new(HwConfig::paper_default(), instances)
 }
 
-fn task_of(spec: &sofa_model::trace::RequestSpec, tile_size: usize) -> AttentionTask {
-    AttentionTask::new(
-        spec.queries,
-        spec.seq_len,
-        spec.hidden,
-        spec.heads,
-        spec.keep_ratio,
-        tile_size,
-    )
+fn task_of(spec: &sofa_model::trace::RequestSpec, cfg: &ServeConfig) -> AttentionTask {
+    // Mirrors the scheduler's trace-native lowering: the deployment tiling
+    // with the request's own keep ratio substituted.
+    let op = cfg.op.with_uniform_keep(spec.keep_ratio);
+    AttentionTask::at_layer(spec.queries, spec.seq_len, spec.hidden, spec.heads, &op, 0)
 }
 
 /// Every request completes, timestamps are causally ordered, and the report's
@@ -60,14 +56,14 @@ fn serving_report_is_self_consistent() {
 fn dram_traffic_is_conserved_across_concurrent_requests() {
     let trace = trace(24, 300.0, 11);
     let cfg = config(3);
-    let report = ServeSim::new(cfg).run(&trace);
+    let report = ServeSim::new(cfg.clone()).run(&trace);
 
     let mut accel = SofaAccelerator::new(cfg.hw);
     accel.include_kv_generation = false;
     let tasks: Vec<AttentionTask> = trace
         .requests
         .iter()
-        .map(|spec| task_of(spec, cfg.tile_size))
+        .map(|spec| task_of(spec, &cfg))
         .collect();
     let per_request = accel.request_descriptors(&tasks, &[]);
     let want: u64 = per_request
@@ -138,11 +134,11 @@ fn lone_request_latency_matches_single_pipeline_simulation() {
     tc.prefill_queries = 16;
     let trace = RequestTrace::generate(&tc);
     let cfg = config(1);
-    let report = ServeSim::new(cfg).run(&trace);
+    let report = ServeSim::new(cfg.clone()).run(&trace);
 
     let mut csim = CycleSim::new(cfg.hw);
     csim.params = cfg.sim;
-    let solo = csim.run(&task_of(&trace.requests[0], cfg.tile_size));
+    let solo = csim.run(&task_of(&trace.requests[0], &cfg));
     let record = &report.records[0];
     assert_eq!(record.queueing_delay(), 0, "idle system admits immediately");
     // Completion is the formal stage's last tile; the single-pipeline total

@@ -207,10 +207,11 @@ proptest! {
             .collect();
         let pipeline =
             SofaPipeline::new(PipelineConfig::new(keep as f64 * 0.2, 16).unwrap());
+        let op = sofa_model::OperatingPoint::single(keep as f64 * 0.2, 16);
         let solo: Vec<_> = workloads.iter().map(|w| pipeline.run(w)).collect();
         for threads in [1usize, 2, 8] {
             let batch =
-                sofa_par::with_threads(threads, || pipeline.run_batch(&workloads));
+                sofa_par::with_threads(threads, || pipeline.run_batch(&op, &workloads));
             prop_assert_eq!(batch.len(), solo.len());
             for (b, s) in batch.iter().zip(solo.iter()) {
                 // Bit-for-bit: outputs, masks and every per-stage counter.
@@ -286,17 +287,17 @@ proptest! {
         tc.prefill_queries = 8;
         let trace = RequestTrace::generate(&tc);
         let mut cfg = ServeConfig::new(HwConfig::small(), instances);
-        cfg.tile_size = 32;
-        let report = ServeSim::new(cfg).run(&trace);
+        cfg.op = sofa_model::OperatingPoint::single(0.25, 32);
+        let report = ServeSim::new(cfg.clone()).run(&trace);
 
         // Conservation: shared-channel traffic equals the summed per-request
         // descriptor traffic, independent of arbitration and placement.
         let mut csim = CycleSim::new(cfg.hw);
         csim.params = cfg.sim;
         let want: u64 = trace.requests.iter().map(|spec| {
-            let task = AttentionTask::new(
-                spec.queries, spec.seq_len, spec.hidden, spec.heads,
-                spec.keep_ratio, cfg.tile_size,
+            let op = cfg.op.with_uniform_keep(spec.keep_ratio);
+            let task = AttentionTask::at_layer(
+                spec.queries, spec.seq_len, spec.hidden, spec.heads, &op, 0,
             );
             csim.job(&task, None).total_dram_bytes()
         }).sum();
@@ -346,6 +347,41 @@ proptest! {
                 evaluator.evaluate_batch(&candidates)
             });
             prop_assert_eq!(&batch, &reference, "threads={}", threads);
+        }
+    }
+
+    // ---------------- routed serving (sofa-serve × sofa-dse) ----------------
+
+    #[test]
+    fn routed_serving_is_bit_identical_across_thread_counts(seed in 0u64..50) {
+        use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{ServeConfig, ServeSim};
+
+        // The whole chain — DSE search, Pareto-front routing, per-request
+        // lowering, serving simulation — must be a pure function of its
+        // inputs at any SOFA_THREADS.
+        let mut tc = TraceConfig::new(8, 80.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let sim = ServeSim::new(ServeConfig::new(HwConfig::small(), 2));
+
+        let reference = sofa_par::with_threads(1, || {
+            let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+            let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+            sim.run_routed(&trace, &dse)
+        });
+        for threads in [1usize, 2, 8] {
+            let routed = sofa_par::with_threads(threads, || {
+                let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+                let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+                sim.run_routed(&trace, &dse)
+            });
+            prop_assert_eq!(&routed, &reference, "threads={}", threads);
         }
     }
 }
