@@ -1,22 +1,33 @@
 //! CI benchmark-regression gate.
 //!
-//! Exits non-zero (failing the bench-smoke job) when either
+//! Fails the bench-smoke job when any gate trips:
 //!
-//! 1. the cycle-level simulator diverges more than 25 % from the analytic
-//!    model on any *compute-bound* configuration of the standard grid — the
-//!    two share engine throughput models and traffic volumes, so divergence
-//!    there means a simulator or model regression, not a modelling choice
-//!    (memory-bound configurations are expected to diverge and are skipped);
-//! 2. any smoke experiment panics or produces an empty table;
-//! 3. the hardware-aware DSE regresses: the Pareto front comes back empty,
-//!    no tuned configuration strictly dominates the paper-default operating
-//!    point on (cycles, energy) at equal-or-better loss, or two runs of the
-//!    pinned search disagree (the search must be deterministic — it is what
-//!    the golden `dse_pareto.json` snapshot and the serving A/B consume);
-//! 4. routed serving regresses: per-request Pareto routing must strictly
-//!    dominate the paper-default operating point on (p95 latency, J/req),
-//!    must not regress p95 against the single-point tuned run, and the
-//!    budgeted run must bound every served request's projected energy.
+//! 1. `cycle-sim` — the cycle-level simulator diverges more than 25 % from
+//!    the analytic model on any *compute-bound* configuration of the
+//!    standard grid — the two share engine throughput models and traffic
+//!    volumes, so divergence there means a simulator or model regression,
+//!    not a modelling choice (memory-bound configurations are expected to
+//!    diverge and are skipped);
+//! 2. `smoke` — any smoke experiment panics or produces an empty table;
+//! 3. `dse` — the hardware-aware DSE regresses: the Pareto front comes back
+//!    empty, no tuned configuration strictly dominates the paper-default
+//!    operating point on (cycles, energy) at equal-or-better loss, or two
+//!    runs of the pinned search disagree (the search must be deterministic —
+//!    it is what the golden `dse_pareto.json` snapshot and the serving A/B
+//!    consume);
+//! 4. `routing` — routed serving regresses: per-request Pareto routing must
+//!    strictly dominate the paper-default operating point on (p95 latency,
+//!    J/req), must not regress p95 against the single-point tuned run, and
+//!    the budgeted run must bound every served request's projected energy;
+//! 5. `trace` — the exported `serve_trace` artifacts (enabled by
+//!    `--trace <path>` and `--metrics <path>`, which CI points at the
+//!    bench-smoke outputs) fail the validity checker: schema violations,
+//!    non-monotonic per-track timestamps, or unbalanced begin/end pairs.
+//!
+//! Exit codes distinguish *what* went wrong: `0` all gates passed, `1` a
+//! gate failed (a genuine regression), `2` an artifact was missing or
+//! unparseable (an infrastructure problem — fix the pipeline, not the
+//! code). Every failure line names the gate that produced it.
 //!
 //! Run locally with `cargo run -p sofa-bench --bin check_regression`.
 
@@ -31,8 +42,21 @@ use std::process::ExitCode;
 /// analytic model on compute-bound configurations.
 const TOLERANCE: f64 = 0.25;
 
+/// A tripped gate: which gate, and what it saw.
+struct Failure {
+    gate: &'static str,
+    msg: String,
+}
+
 fn main() -> ExitCode {
-    let mut failures: Vec<String> = Vec::new();
+    let mut failures: Vec<Failure> = Vec::new();
+    // Artifact problems (missing / unreadable / unparseable inputs) are
+    // tracked separately: they mean the pipeline is broken, not the code,
+    // and map to exit code 2.
+    let mut artifact_errors: Vec<String> = Vec::new();
+    let fail = |gate: &'static str, msg: String, sink: &mut Vec<Failure>| {
+        sink.push(Failure { gate, msg });
+    };
 
     // Gate 1 — cycle-sim fidelity on the standard grid.
     let sim = CycleSim::new(HwConfig::paper_default());
@@ -42,27 +66,36 @@ fn main() -> ExitCode {
             Ok(cmp) if !cmp.analytic_memory_bound => {
                 compute_bound += 1;
                 if !cmp.agrees_within(TOLERANCE) {
-                    failures.push(format!(
-                        "cycle sim diverged {:+.1}% (> {:.0}%) from the analytic model on \
-                         compute-bound T={} S={} keep={} Bc={}",
-                        100.0 * cmp.relative_error,
-                        100.0 * TOLERANCE,
-                        task.queries,
-                        task.seq_len,
-                        task.keep_ratio,
-                        task.tile_size,
-                    ));
+                    fail(
+                        "cycle-sim",
+                        format!(
+                            "diverged {:+.1}% (> {:.0}%) from the analytic model on \
+                             compute-bound T={} S={} keep={} Bc={}",
+                            100.0 * cmp.relative_error,
+                            100.0 * TOLERANCE,
+                            task.queries,
+                            task.seq_len,
+                            task.keep_ratio,
+                            task.tile_size,
+                        ),
+                        &mut failures,
+                    );
                 }
             }
             Ok(_) => {}
-            Err(_) => failures.push(format!(
-                "cycle sim panicked on T={} S={}",
-                task.queries, task.seq_len
-            )),
+            Err(_) => fail(
+                "cycle-sim",
+                format!("panicked on T={} S={}", task.queries, task.seq_len),
+                &mut failures,
+            ),
         }
     }
     if compute_bound == 0 {
-        failures.push("grid contains no compute-bound configuration to check".into());
+        fail(
+            "cycle-sim",
+            "grid contains no compute-bound configuration to check".into(),
+            &mut failures,
+        );
     }
 
     // Gate 2 — the smoke experiments run to completion and produce rows.
@@ -78,11 +111,13 @@ fn main() -> ExitCode {
     ];
     for (name, run) in checks {
         match catch_unwind(run) {
-            Ok(table) if table.rows.is_empty() => {
-                failures.push(format!("{name} produced an empty table"))
-            }
+            Ok(table) if table.rows.is_empty() => fail(
+                "smoke",
+                format!("{name} produced an empty table"),
+                &mut failures,
+            ),
             Ok(_) => println!("ok: {name}"),
-            Err(_) => failures.push(format!("{name} panicked")),
+            Err(_) => fail("smoke", format!("{name} panicked"), &mut failures),
         }
     }
 
@@ -99,15 +134,25 @@ fn main() -> ExitCode {
     }) {
         Ok((first, second)) => {
             if first != second {
-                failures.push("dse_pareto is non-deterministic across two runs".into());
+                fail(
+                    "dse",
+                    "dse_pareto is non-deterministic across two runs".into(),
+                    &mut failures,
+                );
             }
             if first.pareto.is_empty() {
-                failures.push("dse_pareto produced an empty Pareto front".into());
+                fail(
+                    "dse",
+                    "dse_pareto produced an empty Pareto front".into(),
+                    &mut failures,
+                );
             } else if first.dominating().is_empty() {
-                failures.push(
+                fail(
+                    "dse",
                     "dse_pareto front is dominated by the paper default: no tuned config \
                      beats it on (cycles, energy) at equal-or-better loss"
                         .into(),
+                    &mut failures,
                 );
             } else {
                 println!(
@@ -118,7 +163,7 @@ fn main() -> ExitCode {
             }
             dse_report = Some(first);
         }
-        Err(_) => failures.push("dse_pareto panicked".into()),
+        Err(_) => fail("dse", "dse_pareto panicked".into(), &mut failures),
     }
 
     // Gate 4 — routed serving must beat the paper default on both axes and
@@ -131,22 +176,29 @@ fn main() -> ExitCode {
     }) {
         Ok(study) => {
             if !study.routed_dominates_default() {
-                failures.push(format!(
-                    "serve_routed: routing (p95 {}, {:.2} uJ/req) does not strictly \
-                     dominate the paper default (p95 {}, {:.2} uJ/req)",
-                    study.routed.p95(),
-                    study.routed.energy_pj_per_request() / 1e6,
-                    study.paper_default.p95(),
-                    study.paper_default.energy_pj_per_request() / 1e6,
-                ));
+                fail(
+                    "routing",
+                    format!(
+                        "routing (p95 {}, {:.2} uJ/req) does not strictly dominate the \
+                         paper default (p95 {}, {:.2} uJ/req)",
+                        study.routed.p95(),
+                        study.routed.energy_pj_per_request() / 1e6,
+                        study.paper_default.p95(),
+                        study.paper_default.energy_pj_per_request() / 1e6,
+                    ),
+                    &mut failures,
+                );
             }
             if study.routed.p95() > study.tuned.p95() {
-                failures.push(format!(
-                    "serve_routed: routing regresses p95 vs the single tuned point \
-                     ({} vs {})",
-                    study.routed.p95(),
-                    study.tuned.p95(),
-                ));
+                fail(
+                    "routing",
+                    format!(
+                        "routing regresses p95 vs the single tuned point ({} vs {})",
+                        study.routed.p95(),
+                        study.tuned.p95(),
+                    ),
+                    &mut failures,
+                );
             }
             if study
                 .budgeted
@@ -154,7 +206,11 @@ fn main() -> ExitCode {
                 .iter()
                 .any(|r| r.energy_pj > study.budget_pj)
             {
-                failures.push("serve_routed: budgeted run admitted an over-budget request".into());
+                fail(
+                    "routing",
+                    "budgeted run admitted an over-budget request".into(),
+                    &mut failures,
+                );
             }
             if failures.len() == before_gate4 {
                 println!(
@@ -169,20 +225,85 @@ fn main() -> ExitCode {
                 );
             }
         }
-        Err(_) => failures.push("serve_routed panicked".into()),
+        Err(_) => fail("routing", "serve_routed panicked".into(), &mut failures),
     }
 
-    if failures.is_empty() {
+    // Gate 5 — the exported serve_trace artifacts are valid. `--trace` must
+    // parse as JSON (else exit 2) and pass the Chrome-trace checker (else a
+    // gate failure); `--metrics` must parse as a metrics snapshot.
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => {
+                let path = args.next().expect("--trace requires a path");
+                match std::fs::read_to_string(&path) {
+                    Err(e) => artifact_errors.push(format!("trace artifact {path}: {e}")),
+                    Ok(text) => match sofa_obs::json::parse(&text) {
+                        Err(e) => artifact_errors
+                            .push(format!("trace artifact {path} is not valid JSON: {e}")),
+                        Ok(_) => match sofa_obs::validate_chrome_trace(&text) {
+                            Ok(stats) => println!(
+                                "ok: trace {path} ({} events, {} tracks, {} spans, max ts {})",
+                                stats.events, stats.tracks, stats.spans, stats.max_ts
+                            ),
+                            Err(e) => fail("trace", format!("{path}: {e}"), &mut failures),
+                        },
+                    },
+                }
+            }
+            "--metrics" => {
+                let path = args.next().expect("--metrics requires a path");
+                match std::fs::read_to_string(&path) {
+                    Err(e) => artifact_errors.push(format!("metrics artifact {path}: {e}")),
+                    Ok(text) => match sofa_obs::json::parse(text.trim_end()) {
+                        Err(e) => artifact_errors
+                            .push(format!("metrics artifact {path} is not valid JSON: {e}")),
+                        Ok(doc) => {
+                            let complete = ["counters", "gauges", "histograms"]
+                                .iter()
+                                .all(|k| doc.get(k).is_some());
+                            if complete {
+                                println!("ok: metrics {path}");
+                            } else {
+                                fail(
+                                    "trace",
+                                    format!(
+                                        "{path} is missing a counters/gauges/histograms section"
+                                    ),
+                                    &mut failures,
+                                );
+                            }
+                        }
+                    },
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --trace / --metrics)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for e in &artifact_errors {
+        eprintln!("artifact error: {e}");
+    }
+    if !failures.is_empty() {
+        eprintln!("regression gate FAILED:");
+        for f in &failures {
+            eprintln!("  - [gate {}] {}", f.gate, f.msg);
+        }
+    }
+    if !artifact_errors.is_empty() {
+        // Artifact problems dominate: the gates cannot be trusted when
+        // their inputs never materialised.
+        ExitCode::from(2)
+    } else if !failures.is_empty() {
+        ExitCode::from(1)
+    } else {
         println!(
             "regression gate passed: {compute_bound} compute-bound configs within {:.0}%",
             100.0 * TOLERANCE
         );
         ExitCode::SUCCESS
-    } else {
-        eprintln!("regression gate FAILED:");
-        for f in &failures {
-            eprintln!("  - {f}");
-        }
-        ExitCode::FAILURE
     }
 }

@@ -4,15 +4,8 @@
 //! bench-smoke job uploads per PR as the performance trajectory of the
 //! threading work.
 
-use sofa_bench::report::write_json_artifact_from_args;
+use sofa_bench::report::print_and_write;
 
 fn main() {
-    let tables = [sofa_bench::experiments::par_scaling()];
-    for t in &tables {
-        t.print();
-        println!();
-    }
-    if let Some(path) = write_json_artifact_from_args(&tables) {
-        eprintln!("wrote {}", path.display());
-    }
+    print_and_write(&[sofa_bench::experiments::par_scaling()]);
 }

@@ -4,15 +4,8 @@
 //! optionally writes it as a JSON artifact (`--json <path>`), which the CI
 //! bench-smoke job uploads per PR and regression gate 4 re-checks.
 
-use sofa_bench::report::write_json_artifact_from_args;
+use sofa_bench::report::print_and_write;
 
 fn main() {
-    let tables = [sofa_bench::experiments::serve_routed()];
-    for t in &tables {
-        t.print();
-        println!();
-    }
-    if let Some(path) = write_json_artifact_from_args(&tables) {
-        eprintln!("wrote {}", path.display());
-    }
+    print_and_write(&[sofa_bench::experiments::serve_routed()]);
 }

@@ -5,18 +5,11 @@
 //! own (instances, load) grid out across the cores internally, which beats
 //! pitting the two whole studies against each other on a shared pool.
 
-use sofa_bench::report::write_json_artifact_from_args;
+use sofa_bench::report::print_and_write;
 
 fn main() {
-    let tables = [
+    print_and_write(&[
         sofa_bench::experiments::serve_throughput_latency(),
         sofa_bench::experiments::serve_scaling(),
-    ];
-    for t in &tables {
-        t.print();
-        println!();
-    }
-    if let Some(path) = write_json_artifact_from_args(&tables) {
-        eprintln!("wrote {}", path.display());
-    }
+    ]);
 }

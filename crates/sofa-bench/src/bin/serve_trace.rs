@@ -1,0 +1,33 @@
+//! Runs the pinned observability serving scenario (Pareto-routed requests
+//! under a ¾-of-default energy budget, traced end to end in simulated
+//! cycles) and writes its artifacts: `--trace <path>` the Chrome
+//! trace-event JSON — open it in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing` — and `--metrics <path>` the metrics-registry
+//! snapshot. Prints the serving summary. The output is byte-identical at
+//! any `SOFA_THREADS`; CI's bench-smoke step uploads the trace and
+//! regression gate 5 validates it.
+
+use sofa_bench::report::write_text_artifact;
+
+fn main() {
+    let (report, obs, metrics) = sofa_bench::experiments::serve_trace_observed();
+    print!("{}", report.summary());
+    println!("trace: {} events", obs.len());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => {
+                let path =
+                    std::path::PathBuf::from(args.next().expect("--trace requires an output path"));
+                write_text_artifact(&path, &obs.to_chrome_json());
+            }
+            "--metrics" => {
+                let path = std::path::PathBuf::from(
+                    args.next().expect("--metrics requires an output path"),
+                );
+                write_text_artifact(&path, &format!("{}\n", metrics.to_json()));
+            }
+            other => panic!("unknown argument {other:?} (expected --trace / --metrics)"),
+        }
+    }
+}

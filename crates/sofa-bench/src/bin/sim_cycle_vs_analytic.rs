@@ -3,18 +3,11 @@
 //! optionally writes them as a JSON artifact (`--json <path>`) for the CI
 //! bench-smoke job.
 
-use sofa_bench::report::write_json_artifact_from_args;
+use sofa_bench::report::print_and_write;
 
 fn main() {
-    let tables = [
+    print_and_write(&[
         sofa_bench::experiments::sim_cycle_vs_analytic(),
         sofa_bench::experiments::sim_stall_breakdown(),
-    ];
-    for t in &tables {
-        t.print();
-        println!();
-    }
-    if let Some(path) = write_json_artifact_from_args(&tables) {
-        eprintln!("wrote {}", path.display());
-    }
+    ]);
 }

@@ -1216,6 +1216,60 @@ pub fn serve_routed() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Observability (sofa-obs)
+// ---------------------------------------------------------------------------
+
+/// The pinned observability run shared by the `serve_trace` binary, its
+/// golden trace and CI regression gate 5: the routed-serving trace of
+/// [`serve_routed_study`] served under a ¾-of-default per-request energy
+/// budget (so reroute *and* shed instants appear in the trace), traced end
+/// to end in simulated cycles, with the algorithm-layer (`core.*`) and DSE
+/// (`dse.*`) counters folded into the same metrics registry. Deterministic
+/// and byte-identical at any `SOFA_THREADS`.
+pub fn serve_trace_observed() -> (
+    ServeReport,
+    sofa_obs::TraceRecorder,
+    sofa_obs::MetricsRegistry,
+) {
+    let report = dse_pareto_report();
+    let trace = serve_trace(32, 150.0, 29);
+    let sim = ServeSim::new(dse_serve_config());
+    let tuned_op = report.tuned_operating_point();
+    let default_op = OperatingPoint::paper_default(tuned_op.layers());
+    // The budget mirrors run_routed_study's budgeted arm: ¾ of what the
+    // paper-default point spends per request on this trace.
+    let baseline = sim.run_tuned(&trace, &default_op);
+    let mut cfg = dse_serve_config();
+    cfg.energy_budget_pj_per_req = Some(0.75 * baseline.energy_pj_per_request());
+    let mut obs = sofa_obs::TraceRecorder::enabled();
+    let mut metrics = sofa_obs::MetricsRegistry::new();
+    let served = ServeSim::new(cfg).run_traced(
+        &trace,
+        sofa_serve::OpRouter::Pareto(&report.pareto),
+        &mut obs,
+        &mut metrics,
+    );
+
+    // Algorithm-layer evidence: one pipeline run at the tuned point's first
+    // layer feeds the arithmetic-complexity and tile-selection metrics.
+    let pipeline = SofaPipeline::new(PipelineConfig::for_layer(&tuned_op, 0));
+    let result = pipeline.run(&small_workload(0xB5));
+    result.total_ops().record_metrics(&mut metrics, "core.ops");
+    result
+        .tile_selection_stats(tuned_op.tile(0))
+        .record_metrics(&mut metrics, "core.selection");
+
+    // DSE-layer evidence: evaluate the paper default and the tuned
+    // candidate once with a fresh evaluator, then export its counters.
+    let evaluator = dse::HwAwareEvaluator::new(dse::EvalConfig::quick(0xD5E), tuned_op.layers());
+    let _ = evaluator.evaluate(&report.space.paper_default_candidate());
+    let _ = evaluator.evaluate(&report.best.candidate);
+    evaluator.record_metrics(&mut metrics);
+
+    (served, obs, metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -162,6 +162,44 @@ pub fn write_json_artifact_from_args(tables: &[Table]) -> Option<std::path::Path
     None
 }
 
+/// Writes `text` to `path`, creating parent directories, and echoes the
+/// path on stderr — the same artifact convention as
+/// [`write_json_artifact_from_args`], for binaries whose artifacts are not
+/// tables (the `serve_trace` trace and metrics files).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_text_artifact(path: &std::path::Path, text: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    std::fs::write(path, text).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}
+
+/// The tail every experiment binary shares: prints `tables` to stdout
+/// (blank-line separated) and, when the process arguments contain
+/// `--json <path>`, also writes them there via
+/// [`write_json_artifact_from_args`], echoing the path on stderr so CI
+/// logs show where the artifact landed.
+///
+/// # Panics
+///
+/// Panics if `--json` is given without a path or the file cannot be
+/// written.
+pub fn print_and_write(tables: &[Table]) {
+    for t in tables {
+        t.print();
+        println!();
+    }
+    if let Some(path) = write_json_artifact_from_args(tables) {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 /// Formats a float with 3 significant decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")

@@ -157,6 +157,25 @@ impl OpCounts {
         }
         out
     }
+
+    /// Adds this tally to `reg` as counters `{prefix}.{kind}` (snake_case,
+    /// e.g. `core.ops.mul`, `core.ops.lz_encode`) plus `{prefix}.total` —
+    /// the registry-facing view of the arithmetic-complexity accounting.
+    pub fn record_metrics(&self, reg: &mut sofa_obs::MetricsRegistry, prefix: &str) {
+        for k in OpKind::ALL {
+            let name = match k {
+                OpKind::Mul => "mul",
+                OpKind::Add => "add",
+                OpKind::Exp => "exp",
+                OpKind::Cmp => "cmp",
+                OpKind::Shift => "shift",
+                OpKind::Div => "div",
+                OpKind::LzEncode => "lz_encode",
+            };
+            reg.inc(&format!("{prefix}.{name}"), self.count(k));
+        }
+        reg.inc(&format!("{prefix}.total"), self.total_ops());
+    }
 }
 
 impl std::ops::Add for OpCounts {
@@ -192,6 +211,19 @@ impl std::fmt::Display for OpCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_metrics_exports_every_kind() {
+        let mut c = OpCounts::new();
+        c.record(OpKind::Mul, 3);
+        c.record(OpKind::LzEncode, 2);
+        let mut reg = sofa_obs::MetricsRegistry::new();
+        c.record_metrics(&mut reg, "core.ops");
+        assert_eq!(reg.counter("core.ops.mul"), 3);
+        assert_eq!(reg.counter("core.ops.lz_encode"), 2);
+        assert_eq!(reg.counter("core.ops.add"), 0);
+        assert_eq!(reg.counter("core.ops.total"), 5);
+    }
 
     #[test]
     fn record_and_count_round_trip() {

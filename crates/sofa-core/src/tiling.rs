@@ -130,6 +130,21 @@ impl TileSelectionStats {
         let max = *self.kept_per_tile.iter().max().expect("non-empty") as f64;
         max / (total / n)
     }
+
+    /// Records this selection into `reg`: gauges `{prefix}.tiles`,
+    /// `{prefix}.imbalance`, counters `{prefix}.kept` / `{prefix}.distinct`,
+    /// and a `{prefix}.kept_per_tile` histogram (power-of-four buckets) —
+    /// the Distributed Cluster Effect evidence, registry-facing.
+    pub fn record_metrics(&self, reg: &mut sofa_obs::MetricsRegistry, prefix: &str) {
+        reg.set_gauge(&format!("{prefix}.tiles"), self.num_tiles() as f64);
+        reg.set_gauge(&format!("{prefix}.imbalance"), self.imbalance());
+        reg.inc(&format!("{prefix}.kept"), self.total_kept());
+        reg.inc(&format!("{prefix}.distinct"), self.total_distinct());
+        const BOUNDS: [f64; 6] = [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0];
+        for &kept in &self.kept_per_tile {
+            reg.observe(&format!("{prefix}.kept_per_tile"), &BOUNDS, kept as f64);
+        }
+    }
 }
 
 /// Splits an integer `total` into one part per weight, proportionally, with
@@ -163,6 +178,20 @@ mod tests {
     fn mask() -> TopKMask {
         // S = 10, tiles of 4 → tiles [0..4), [4..8), [8..10).
         TopKMask::new(10, vec![vec![0, 1, 9], vec![1, 4, 9], vec![0, 1, 2, 3]])
+    }
+
+    #[test]
+    fn record_metrics_exports_selection_evidence() {
+        let s = TileSelectionStats::from_mask(&mask(), 4);
+        let mut reg = sofa_obs::MetricsRegistry::new();
+        s.record_metrics(&mut reg, "core.selection");
+        assert_eq!(reg.gauge("core.selection.tiles"), Some(3.0));
+        assert_eq!(reg.counter("core.selection.kept"), 10);
+        assert_eq!(reg.counter("core.selection.distinct"), 6);
+        assert!((reg.gauge("core.selection.imbalance").unwrap() - s.imbalance()).abs() < 1e-12);
+        let h = reg.histogram("core.selection.kept_per_tile").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 10.0);
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub const TILE_CONTROL_CYCLES: u64 = 32;
 /// The tile size the published Table III breakdown was sized for.
 const AREA_REFERENCE_BC: f64 = 16.0;
 
+/// Relative-error band within which a cycle simulation counts as agreeing
+/// with the analytic model — the evaluator's fidelity-hit criterion, kept on
+/// one definition with the CI cycle-fidelity gate's tolerance.
+pub const FIDELITY_TOLERANCE: f64 = 0.25;
+
 /// The multi-objective score of one candidate. All four components are
 /// minimised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,6 +172,13 @@ impl EvalConfig {
 pub struct HwAwareEvaluator {
     cfg: EvalConfig,
     layers: Vec<(AttentionWorkload, Matrix)>,
+    /// Per-layer cycle simulations run so far. Atomic adds are commutative,
+    /// so the totals are identical at any `SOFA_THREADS` even though the
+    /// evaluations fan out.
+    layer_evals: std::sync::atomic::AtomicU64,
+    /// Evaluations whose cycle simulation agreed with the analytic model
+    /// within [`FIDELITY_TOLERANCE`] — the surrogate-vs-sim fidelity signal.
+    fidelity_hits: std::sync::atomic::AtomicU64,
 }
 
 impl HwAwareEvaluator {
@@ -192,12 +204,47 @@ impl HwAwareEvaluator {
             let dense = w.dense_output();
             (w, dense)
         });
-        HwAwareEvaluator { cfg, layers }
+        HwAwareEvaluator {
+            cfg,
+            layers,
+            layer_evals: std::sync::atomic::AtomicU64::new(0),
+            fidelity_hits: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The evaluation setup.
     pub fn config(&self) -> &EvalConfig {
         &self.cfg
+    }
+
+    /// Per-layer cycle simulations this evaluator has run.
+    pub fn layer_evals(&self) -> u64 {
+        self.layer_evals.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many of those agreed with the analytic model within
+    /// [`FIDELITY_TOLERANCE`].
+    pub fn fidelity_hits(&self) -> u64 {
+        self.fidelity_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Snapshots the evaluation counters into `reg` as
+    /// `dse.evaluator.layer_evals` / `dse.evaluator.fidelity_hits` counters
+    /// plus a `dse.evaluator.fidelity_rate` gauge.
+    pub fn record_metrics(&self, reg: &mut sofa_obs::MetricsRegistry) {
+        let evals = self.layer_evals();
+        let hits = self.fidelity_hits();
+        reg.inc("dse.evaluator.layer_evals", evals);
+        reg.inc("dse.evaluator.fidelity_hits", hits);
+        reg.set_gauge(
+            "dse.evaluator.fidelity_rate",
+            if evals == 0 {
+                0.0
+            } else {
+                hits as f64 / evals as f64
+            },
+        );
     }
 
     /// Number of layers candidates must provide tile sizes for.
@@ -285,6 +332,15 @@ impl HwAwareEvaluator {
         let requests = job.dram_requests();
         let report = sim.run_job(&job);
         let analytic = sim.accel.simulate(&task);
+        self.layer_evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if report
+            .compare(&analytic, self.cfg.hw.freq_hz)
+            .agrees_within(FIDELITY_TOLERANCE)
+        {
+            self.fidelity_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
 
         let compute_j = compute_energy_j(&result.total_ops());
         let memory_j =
@@ -400,6 +456,21 @@ mod tests {
             tile_sizes: vec![2, 32],
         });
         assert!((mixed - at_32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_counters_track_layer_sims() {
+        let eval = HwAwareEvaluator::new(EvalConfig::tiny(11), 2);
+        assert_eq!(eval.layer_evals(), 0);
+        eval.evaluate(&uniform(0.25, 16, 2));
+        eval.evaluate(&uniform(0.50, 8, 2));
+        assert_eq!(eval.layer_evals(), 4, "two candidates x two layers");
+        assert!(eval.fidelity_hits() <= eval.layer_evals());
+        let mut reg = sofa_obs::MetricsRegistry::new();
+        eval.record_metrics(&mut reg);
+        assert_eq!(reg.counter("dse.evaluator.layer_evals"), 4);
+        let rate = reg.gauge("dse.evaluator.fidelity_rate").unwrap();
+        assert!((0.0..=1.0).contains(&rate));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Validity checking of Chrome trace-event JSON files — the CI regression
+//! gate runs this over the `serve_trace` artifact so a malformed or
+//! time-travelling trace fails the build instead of silently rendering
+//! wrong in Perfetto.
+//!
+//! Checks, in order:
+//!
+//! 1. the file parses as JSON and has a `traceEvents` array (top-level
+//!    array form is also accepted, per the Chrome spec);
+//! 2. every event is an object with a one-character `ph` phase, numeric
+//!    `pid`/`tid`, a string `name`, and — for non-metadata phases — a
+//!    non-negative numeric `ts` (plus `dur` on `"X"` complete events);
+//! 3. per `(pid, tid)` track, timestamps are non-decreasing in file order
+//!    (the recorder emits in event-loop order, so a violation means a
+//!    merge bug, not viewer pedantry);
+//! 4. `"B"`/`"E"` duration events balance per track (this repo's recorder
+//!    emits only complete spans, but hand-written traces must not leak
+//!    unclosed spans past the checker).
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total events in the file.
+    pub events: usize,
+    /// Distinct `(pid, tid)` tracks.
+    pub tracks: usize,
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Counter (`"C"`) samples.
+    pub counter_samples: usize,
+    /// Instant (`"i"`/`"I"`) events.
+    pub instants: usize,
+    /// Largest timestamp seen (simulated cycles).
+    pub max_ts: u64,
+}
+
+/// Validates `text` as a Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        Json::Arr(a) => a.as_slice(),
+        Json::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"traceEvents\" array")?,
+        _ => return Err("top level must be an object or an array".to_string()),
+    };
+
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    // Per-track last timestamp and open "B" span depth.
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut open_spans: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("event {i}: {what}");
+        if ev.as_obj().is_none() {
+            return Err(ctx("not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing \"ph\""))?;
+        if ph.chars().count() != 1 {
+            return Err(ctx(&format!("bad phase {ph:?}")));
+        }
+        let num_field = |key: &str| -> Result<u64, String> {
+            let n = ev
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(&format!("missing numeric \"{key}\"")))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(ctx(&format!("\"{key}\" must be a non-negative integer")));
+            }
+            Ok(n as u64)
+        };
+        let pid = num_field("pid")?;
+        let tid = num_field("tid")?;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(ctx("missing string \"name\""));
+        }
+        if ph == "M" {
+            continue; // Metadata events carry no timestamp.
+        }
+        let ts = num_field("ts")?;
+        stats.max_ts = stats.max_ts.max(ts);
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            if ts < prev {
+                return Err(ctx(&format!(
+                    "timestamp {ts} goes backwards on track (pid {pid}, tid {tid}); \
+                     previous was {prev}"
+                )));
+            }
+        }
+        last_ts.insert(track, ts);
+        match ph {
+            "X" => {
+                num_field("dur")?;
+                stats.spans += 1;
+            }
+            "C" => stats.counter_samples += 1,
+            "i" | "I" => stats.instants += 1,
+            "B" => *open_spans.entry(track).or_insert(0) += 1,
+            "E" => {
+                let depth = open_spans.entry(track).or_insert(0);
+                *depth -= 1;
+                if *depth < 0 {
+                    return Err(ctx(&format!(
+                        "\"E\" without matching \"B\" on track (pid {pid}, tid {tid})"
+                    )));
+                }
+            }
+            _ => {} // Other phases (flow, async, …) pass through unchecked.
+        }
+    }
+
+    if let Some(((pid, tid), depth)) = open_spans.iter().find(|(_, &d)| d != 0) {
+        return Err(format!(
+            "{depth} unclosed \"B\" span(s) on track (pid {pid}, tid {tid})"
+        ));
+    }
+    stats.tracks = last_ts.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ArgValue, TraceRecorder};
+
+    fn recorded_trace() -> String {
+        let mut r = TraceRecorder::enabled();
+        r.process_name(0, "pipeline");
+        r.thread_name(0, 0, "predict");
+        r.complete(0, 0, "tile0", 0, 10, &[("kept", ArgValue::U64(3))]);
+        r.complete(0, 0, "tile1", 10, 12, &[]);
+        r.instant(0, 1, "reroute", 5, &[]);
+        r.counter(0, 2, "queue", 0, &[("depth", 1.0)]);
+        r.counter(0, 2, "queue", 8, &[("depth", 0.0)]);
+        r.to_chrome_json()
+    }
+
+    #[test]
+    fn accepts_recorder_output() {
+        let stats = validate_chrome_trace(&recorded_trace()).expect("valid");
+        assert_eq!(stats.events, 7);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counter_samples, 2);
+        assert_eq!(stats.tracks, 3);
+        assert_eq!(stats.max_ts, 10);
+    }
+
+    #[test]
+    fn accepts_top_level_array_form() {
+        let t = "[{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2,\"ts\":3,\
+                 \"name\":\"x\",\"args\":{}}]";
+        assert_eq!(validate_chrome_trace(t).unwrap().instants, 1);
+    }
+
+    #[test]
+    fn rejects_backwards_time_on_one_track() {
+        let t = "{\"traceEvents\":[\
+                 {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0,\"ts\":10,\"name\":\"a\"},\
+                 {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0,\"ts\":9,\"name\":\"b\"}]}";
+        let err = validate_chrome_trace(t).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn allows_backwards_time_across_tracks() {
+        let t = "{\"traceEvents\":[\
+                 {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0,\"ts\":10,\"name\":\"a\"},\
+                 {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":1,\"ts\":3,\"name\":\"b\"}]}";
+        assert!(validate_chrome_trace(t).is_ok());
+    }
+
+    #[test]
+    fn rejects_unbalanced_duration_events() {
+        let unclosed = "{\"traceEvents\":[\
+                        {\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1,\"name\":\"a\"}]}";
+        assert!(validate_chrome_trace(unclosed)
+            .unwrap_err()
+            .contains("unclosed"));
+        let stray_end = "{\"traceEvents\":[\
+                         {\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":1,\"name\":\"a\"}]}";
+        assert!(validate_chrome_trace(stray_end)
+            .unwrap_err()
+            .contains("without matching"));
+        let balanced = "{\"traceEvents\":[\
+                        {\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1,\"name\":\"a\"},\
+                        {\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":2,\"name\":\"a\"}]}";
+        assert!(validate_chrome_trace(balanced).is_ok());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (bad, why) in [
+            ("nonsense", "not valid JSON"),
+            ("{}", "missing \"traceEvents\""),
+            ("5", "top level"),
+            ("{\"traceEvents\":[5]}", "not an object"),
+            ("{\"traceEvents\":[{\"pid\":0}]}", "missing \"ph\""),
+            (
+                "{\"traceEvents\":[{\"ph\":\"i\",\"tid\":0,\"ts\":0,\"name\":\"x\"}]}",
+                "missing numeric \"pid\"",
+            ),
+            (
+                "{\"traceEvents\":[{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0}]}",
+                "missing string \"name\"",
+            ),
+            (
+                "{\"traceEvents\":[{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"name\":\"x\"}]}",
+                "missing numeric \"ts\"",
+            ),
+            (
+                "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0,\"name\":\"x\"}]}",
+                "missing numeric \"dur\"",
+            ),
+            (
+                "{\"traceEvents\":[{\"ph\":\"i\",\"pid\":-1,\"tid\":0,\"ts\":0,\"name\":\"x\"}]}",
+                "non-negative",
+            ),
+        ] {
+            let err = validate_chrome_trace(bad).unwrap_err();
+            assert!(err.contains(why), "{bad:?}: got {err:?}, want {why:?}");
+        }
+    }
+
+    #[test]
+    fn metadata_events_need_no_timestamp() {
+        let t = "{\"traceEvents\":[\
+                 {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+                  \"args\":{\"name\":\"p\"}}]}";
+        let stats = validate_chrome_trace(t).unwrap();
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.tracks, 0);
+    }
+}

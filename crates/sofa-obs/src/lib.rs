@@ -1,0 +1,31 @@
+//! Deterministic observability for the SOFA reproduction stack.
+//!
+//! Two complementary sinks, both designed so their output can be
+//! golden-tested byte-for-byte like every other artifact in this repo:
+//!
+//! * [`metrics::MetricsRegistry`] — named counters, gauges and fixed-bucket
+//!   histograms with *stable iteration order* (sorted maps, no hash
+//!   nondeterminism) and a single-line JSON snapshot export.
+//! * [`trace::TraceRecorder`] — a span/event recorder stamped in **simulated
+//!   cycles, not wall clock**, exporting Chrome trace-event JSON that loads
+//!   directly in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Determinism contract: a disabled recorder is a branch and nothing else
+//! (no allocation, no formatting), so instrumented code paths produce
+//! bit-identical results with tracing off; with tracing on, per-worker
+//! buffers forked with [`trace::TraceRecorder::fork`] and merged in caller
+//! order with [`trace::TraceRecorder::absorb`] make the trace byte-identical
+//! at any `SOFA_THREADS`.
+//!
+//! [`check::validate_chrome_trace`] is a small self-contained validity
+//! checker (schema, per-track timestamp monotonicity, balanced begin/end)
+//! used by the CI regression gate on the exported trace artifact.
+
+pub mod check;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use check::{validate_chrome_trace, TraceStats};
+pub use metrics::MetricsRegistry;
+pub use trace::{ArgValue, TraceRecorder};

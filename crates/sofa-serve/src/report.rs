@@ -163,6 +163,63 @@ impl ServeReport {
         self.records.iter().filter(|r| r.rerouted).count()
     }
 
+    /// Adds the report's summary statistics to `reg` under the `serve.`
+    /// prefix: request counters (total/admitted/shed/rerouted and per
+    /// class), latency and queueing-delay histograms, scheduler-level
+    /// gauges, and per-instance `serve.inst{i}.*` gauges.
+    pub fn record_metrics(&self, reg: &mut sofa_obs::MetricsRegistry) {
+        // Decade-ish buckets spanning single-tile decodes to saturated
+        // multi-layer prefills (cycles).
+        const CYCLE_BOUNDS: [f64; 8] = [1e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7];
+        reg.inc(
+            "serve.requests.total",
+            (self.records.len() + self.shed.len()) as u64,
+        );
+        reg.inc("serve.requests.admitted", self.records.len() as u64);
+        reg.inc("serve.requests.shed", self.shed.len() as u64);
+        reg.inc("serve.requests.rerouted", self.rerouted_requests() as u64);
+        for r in &self.records {
+            let class = match r.class {
+                RequestClass::Prefill => "serve.requests.prefill",
+                RequestClass::Decode => "serve.requests.decode",
+            };
+            reg.inc(class, 1);
+            reg.observe("serve.latency_cycles", &CYCLE_BOUNDS, r.latency() as f64);
+            reg.observe(
+                "serve.queueing_cycles",
+                &CYCLE_BOUNDS,
+                r.queueing_delay() as f64,
+            );
+        }
+        reg.set_gauge("serve.total_cycles", self.total_cycles as f64);
+        reg.set_gauge("serve.throughput_per_mcycle", self.throughput_per_mcycle());
+        reg.set_gauge("serve.mean_queueing_delay", self.mean_queueing_delay());
+        reg.set_gauge("serve.energy_pj_per_request", self.energy_pj_per_request());
+        if !self.records.is_empty() {
+            reg.set_gauge("serve.latency_p50", self.p50() as f64);
+            reg.set_gauge("serve.latency_p95", self.p95() as f64);
+            reg.set_gauge("serve.latency_p99", self.p99() as f64);
+        }
+        for i in 0..self.multi.instances.len() {
+            reg.set_gauge(
+                &format!("serve.inst{i}.requests"),
+                self.requests_on(i) as f64,
+            );
+            reg.set_gauge(
+                &format!("serve.inst{i}.utilization"),
+                self.instance_utilization(i),
+            );
+            reg.set_gauge(
+                &format!("serve.inst{i}.peak_inflight_bytes"),
+                self.peak_inflight_bytes[i] as f64,
+            );
+            reg.set_gauge(
+                &format!("serve.inst{i}.energy_pj"),
+                self.energy_pj_per_instance[i],
+            );
+        }
+    }
+
     /// A compact human-readable summary.
     pub fn summary(&self) -> String {
         let mut out = String::new();

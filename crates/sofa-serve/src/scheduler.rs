@@ -43,7 +43,26 @@ use sofa_hw::config::HwConfig;
 use sofa_hw::energy::DRAM_ACTIVATION_PJ;
 use sofa_model::trace::{RequestClass, RequestSpec, RequestTrace};
 use sofa_model::OperatingPoint;
+use sofa_obs::{ArgValue, MetricsRegistry, TraceRecorder};
+use sofa_sim::tracks::PID_SERVE_BASE;
 use sofa_sim::{CycleSim, MultiPipelineSim, PipelineJob, SimParams};
+
+/// Process id of the per-request lifecycle tracks (tid = request id).
+pub const PID_REQUESTS: u64 = PID_SERVE_BASE;
+/// Process id of the scheduler-level counter tracks (wait-queue depth).
+pub const PID_SCHEDULER: u64 = PID_SERVE_BASE + 1;
+/// Track id, within an instance process, of the booked-bytes counter.
+pub const TID_SERVE_INFLIGHT: u64 = 8;
+/// Track id, within an instance process, of the admitted-energy counter.
+pub const TID_SERVE_ENERGY: u64 = 9;
+
+/// Trace-viewer label of a request class.
+fn class_name(class: RequestClass) -> &'static str {
+    match class {
+        RequestClass::Prefill => "prefill",
+        RequestClass::Decode => "decode",
+    }
+}
 
 /// How the scheduler picks the next waiting request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,20 +337,112 @@ impl ServeSim {
     ///
     /// Panics if `trace` is empty.
     pub fn run_with(&self, trace: &RequestTrace, router: OpRouter) -> ServeReport {
+        self.run_inner(trace, router, &mut TraceRecorder::disabled())
+    }
+
+    /// [`ServeSim::run_with`] plus observability: request-lifecycle spans,
+    /// reroute/shed instants and per-instance booking counters land in `obs`
+    /// (stamped in simulated cycles — merge it with other recorders and call
+    /// [`TraceRecorder::to_chrome_json`] for Perfetto), and the report's
+    /// summary statistics land in `metrics`. The report itself is
+    /// bit-identical to the untraced run's at any `SOFA_THREADS`: lowering
+    /// workers fork per-request recorders that are absorbed in arrival
+    /// order, so the trace bytes are thread-count-independent too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn run_traced(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+        obs: &mut TraceRecorder,
+        metrics: &mut MetricsRegistry,
+    ) -> ServeReport {
+        let report = self.run_inner(trace, router, obs);
+        report.record_metrics(metrics);
+        report
+    }
+
+    fn run_inner(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+        obs: &mut TraceRecorder,
+    ) -> ServeReport {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
+        let n = self.cfg.instances;
+        if obs.is_enabled() {
+            obs.process_name(PID_REQUESTS, "requests");
+            for i in 0..trace.requests.len() {
+                obs.thread_name(PID_REQUESTS, i as u64, &format!("req{i}"));
+            }
+            obs.process_name(PID_SCHEDULER, "scheduler");
+            obs.thread_name(PID_SCHEDULER, 0, "serve.wait_queue");
+            for i in 0..n {
+                obs.thread_name(i as u64, TID_SERVE_INFLIGHT, "serve.inflight_bytes");
+                obs.thread_name(i as u64, TID_SERVE_ENERGY, "serve.energy_pj");
+            }
+        }
         let mut csim = CycleSim::new(self.cfg.hw);
         csim.params = self.cfg.sim;
         // Lowering a request (routing, descriptor generation, per-tile cycle
         // apportioning, energy projection) is a pure function of the spec,
         // so the whole trace fans out across cores before the serial event
         // loop; order is preserved, so the simulation is oblivious to the
-        // thread count.
-        let lowered: Vec<Lowered> = sofa_par::par_map(&trace.requests, |spec| {
-            self.lower_routed(&csim, spec, &router)
-        });
+        // thread count. Each worker records into a fork of `obs` (an empty
+        // buffer when tracing is off); the forks are absorbed in arrival
+        // order, keeping the trace bytes thread-count-independent.
+        let parent = &*obs;
+        let pairs: Vec<(Lowered, TraceRecorder)> =
+            sofa_par::par_map_index(trace.requests.len(), |i| {
+                let spec = &trace.requests[i];
+                let mut rec = parent.fork();
+                let req = self.lower_routed(&csim, spec, &router);
+                if rec.is_enabled() {
+                    let tid = i as u64;
+                    rec.instant(
+                        PID_REQUESTS,
+                        tid,
+                        "lowered",
+                        req.arrival,
+                        &[
+                            ("class", ArgValue::Str(class_name(req.class))),
+                            ("footprint_bytes", ArgValue::U64(req.footprint)),
+                            ("energy_pj", ArgValue::F64(req.energy_pj)),
+                        ],
+                    );
+                    if req.rerouted {
+                        rec.instant(
+                            PID_REQUESTS,
+                            tid,
+                            "reroute",
+                            req.arrival,
+                            &[("to", ArgValue::Str("energy-leanest"))],
+                        );
+                    }
+                    if !req.admit {
+                        rec.instant(
+                            PID_REQUESTS,
+                            tid,
+                            "shed",
+                            req.arrival,
+                            &[("energy_pj", ArgValue::F64(req.energy_pj))],
+                        );
+                    }
+                }
+                (req, rec)
+            });
+        let mut lowered = Vec::with_capacity(pairs.len());
+        for (req, rec) in pairs {
+            obs.absorb(rec);
+            lowered.push(req);
+        }
 
-        let n = self.cfg.instances;
         let mut msim = MultiPipelineSim::new(&self.cfg.hw, n, self.cfg.sim);
+        if obs.is_enabled() {
+            msim.enable_tracing();
+        }
         let mut state = AdmissionState::new(n, lowered.len());
         let mut shed: Vec<ShedRecord> = Vec::new();
         let mut next_arrival = 0usize;
@@ -352,6 +463,15 @@ impl ServeSim {
                 let req = &lowered[next_arrival];
                 if req.admit {
                     state.waiting.push(next_arrival);
+                    if obs.is_enabled() {
+                        obs.counter(
+                            PID_SCHEDULER,
+                            0,
+                            "serve.wait_queue",
+                            now,
+                            &[("waiting", state.waiting.len() as f64)],
+                        );
+                    }
                 } else {
                     shed.push(ShedRecord {
                         id: next_arrival as u64,
@@ -361,7 +481,7 @@ impl ServeSim {
                     });
                 }
                 next_arrival += 1;
-                self.try_admit(now, &lowered, &mut state, &mut msim);
+                self.try_admit(now, &lowered, &mut state, &mut msim, obs);
             } else {
                 let step = msim.step().expect("event was pending");
                 if let Some(done) = step.completed {
@@ -369,8 +489,46 @@ impl ServeSim {
                     state.completed_at[idx] = step.time;
                     state.inflight_bytes[done.instance] -= lowered[idx].footprint;
                     state.inflight_reqs[done.instance] -= 1;
-                    self.try_admit(step.time, &lowered, &mut state, &mut msim);
+                    if obs.is_enabled() {
+                        obs.counter(
+                            done.instance as u64,
+                            TID_SERVE_INFLIGHT,
+                            "serve.inflight_bytes",
+                            step.time,
+                            &[("bytes", state.inflight_bytes[done.instance] as f64)],
+                        );
+                    }
+                    self.try_admit(step.time, &lowered, &mut state, &mut msim, obs);
                 }
+            }
+        }
+
+        if obs.is_enabled() {
+            // Lifecycle spans are emitted once placement and completion are
+            // known; walking the requests in id order keeps every per-request
+            // track's timestamps (lowered -> queued -> execute) sorted.
+            for (i, req) in lowered.iter().enumerate() {
+                if !req.admit {
+                    continue;
+                }
+                let tid = i as u64;
+                let admitted = state.admitted_at[i];
+                obs.complete(
+                    PID_REQUESTS,
+                    tid,
+                    "queued",
+                    req.arrival,
+                    admitted - req.arrival,
+                    &[("class", ArgValue::Str(class_name(req.class)))],
+                );
+                obs.complete(
+                    PID_REQUESTS,
+                    tid,
+                    "execute",
+                    admitted,
+                    state.completed_at[i] - admitted,
+                    &[("instance", ArgValue::U64(state.placed_on[i] as u64))],
+                );
             }
         }
 
@@ -397,6 +555,7 @@ impl ServeSim {
             })
             .collect();
         let multi = msim.report();
+        obs.absorb(msim.take_trace());
         ServeReport {
             records,
             shed,
@@ -437,6 +596,7 @@ impl ServeSim {
         lowered: &[Lowered],
         state: &mut AdmissionState,
         msim: &mut MultiPipelineSim,
+        obs: &mut TraceRecorder,
     ) {
         let budget = self.cfg.budget_bytes();
         while !state.waiting.is_empty() {
@@ -461,6 +621,29 @@ impl ServeSim {
             state.energy_pj[inst] += lowered[req].energy_pj;
             state.placed_on[req] = inst;
             state.admitted_at[req] = now;
+            if obs.is_enabled() {
+                obs.counter(
+                    PID_SCHEDULER,
+                    0,
+                    "serve.wait_queue",
+                    now,
+                    &[("waiting", state.waiting.len() as f64)],
+                );
+                obs.counter(
+                    inst as u64,
+                    TID_SERVE_INFLIGHT,
+                    "serve.inflight_bytes",
+                    now,
+                    &[("bytes", state.inflight_bytes[inst] as f64)],
+                );
+                obs.counter(
+                    inst as u64,
+                    TID_SERVE_ENERGY,
+                    "serve.energy_pj",
+                    now,
+                    &[("pj", state.energy_pj[inst])],
+                );
+            }
         }
     }
 }
@@ -702,6 +885,77 @@ mod tests {
         for r in &report.records {
             assert!(r.energy_pj <= budget);
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_trace_validates() {
+        let trace = small_trace(16, 120.0, 11);
+        let sim = ServeSim::new(small_cfg(2));
+        let plain = sim.run(&trace);
+        let mut obs = TraceRecorder::enabled();
+        let mut reg = MetricsRegistry::new();
+        let traced = sim.run_traced(&trace, OpRouter::TraceNative, &mut obs, &mut reg);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let stats = sofa_obs::validate_chrome_trace(&obs.to_chrome_json()).expect("valid trace");
+        // Per admitted request: queued + execute lifecycle spans on top of
+        // the per-tile stage spans from the instances.
+        assert!(stats.spans >= 2 * traced.records.len());
+        assert!(
+            stats.instants >= traced.records.len(),
+            "one lowered instant each"
+        );
+        assert!(stats.counter_samples > 0, "booking counters sampled");
+        assert!(stats.max_ts > 0 && stats.max_ts <= traced.total_cycles);
+        assert_eq!(reg.counter("serve.requests.admitted"), 16);
+        assert_eq!(reg.counter("serve.requests.shed"), 0);
+        assert!(reg.gauge("serve.latency_p95").is_some());
+        assert_eq!(
+            reg.gauge("serve.total_cycles"),
+            Some(traced.total_cycles as f64)
+        );
+    }
+
+    #[test]
+    fn trace_bytes_are_thread_count_independent() {
+        let trace = small_trace(12, 150.0, 23);
+        let sim = ServeSim::new(small_cfg(2));
+        let run = |threads: usize| {
+            sofa_par::with_threads(threads, || {
+                let mut obs = TraceRecorder::enabled();
+                let mut reg = MetricsRegistry::new();
+                let report = sim.run_traced(&trace, OpRouter::TraceNative, &mut obs, &mut reg);
+                (obs.to_chrome_json(), reg.to_json(), report)
+            })
+        };
+        let (t1, m1, r1) = run(1);
+        for threads in [2, 8] {
+            let (t, m, r) = run(threads);
+            assert_eq!(r1, r, "report differs at {threads} threads");
+            assert_eq!(t1, t, "trace bytes differ at {threads} threads");
+            assert_eq!(m1, m, "metrics differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn shed_requests_leave_instants_not_lifecycle_spans() {
+        let trace = small_trace(16, 80.0, 17);
+        let mut cfg = small_cfg(1);
+        cfg.energy_budget_pj_per_req = Some(2.0e7);
+        let sim = ServeSim::new(cfg);
+        let mut obs = TraceRecorder::enabled();
+        let mut reg = MetricsRegistry::new();
+        let report = sim.run_traced(&trace, OpRouter::TraceNative, &mut obs, &mut reg);
+        assert!(!report.shed.is_empty());
+        let json = obs.to_chrome_json();
+        sofa_obs::validate_chrome_trace(&json).expect("valid trace");
+        let count = |needle: &str| json.matches(needle).count();
+        assert_eq!(count("\"name\":\"shed\""), report.shed.len());
+        assert_eq!(
+            count("\"name\":\"queued\""),
+            report.records.len(),
+            "only admitted requests get lifecycle spans"
+        );
+        assert_eq!(reg.counter("serve.requests.shed"), report.shed.len() as u64);
     }
 
     #[test]

@@ -251,6 +251,12 @@ impl DramChannel {
         self.busy || self.queues.iter().any(|q| !q.is_empty())
     }
 
+    /// Requests currently waiting across all port queues (excluding the one
+    /// in flight) — the queue-depth signal of the trace counter track.
+    pub fn queued_requests(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
     /// Total bytes read so far.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read

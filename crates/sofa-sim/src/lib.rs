@@ -20,6 +20,9 @@
 //! * [`report`] — [`CycleReport`]: per-stage busy/stall accounting, DRAM and
 //!   buffer statistics, a stage-by-stage timeline, and the
 //!   [`CycleComparison`] cross-check against the analytic `SimReport`.
+//! * [`tracks`] — the trace track layout both simulators use when recording
+//!   into a `sofa_obs::TraceRecorder` (per-stage busy/stall spans, DRAM
+//!   queue-depth and ping-pong occupancy counters, in simulated cycles).
 //!
 //! The simulator is validated against the analytic model: on compute-bound
 //! configurations the two agree within a tolerance band (same engine
@@ -48,6 +51,7 @@ pub mod multi;
 pub mod pingpong;
 pub mod report;
 pub mod sim;
+pub mod tracks;
 
 pub use dram::calibrate_dram_command_cycles;
 pub use multi::{Completion, InstanceActivity, MultiPipelineSim, MultiReport, Step};

@@ -27,8 +27,10 @@ use crate::event::EventQueue;
 use crate::pingpong::PingPongBuffer;
 use crate::report::{DramActivity, StageActivity};
 use crate::sim::{read_bytes, PipelineJob, SimParams, STAGES};
+use crate::tracks::{announce_pipeline, bank_track, PID_SHARED_DRAM, TID_BANK_BASE};
 use sofa_hw::config::HwConfig;
 use sofa_hw::descriptor::TileWork;
+use sofa_obs::{ArgValue, TraceRecorder};
 
 /// Events of the multi-instance simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +163,7 @@ pub struct MultiPipelineSim {
     dram: DramChannel,
     end_time: u64,
     requests_completed: Vec<usize>,
+    obs: TraceRecorder,
 }
 
 impl MultiPipelineSim {
@@ -188,7 +191,58 @@ impl MultiPipelineSim {
             ),
             end_time: 0,
             requests_completed: vec![0; instances],
+            obs: TraceRecorder::disabled(),
         }
+    }
+
+    /// Switches the simulation's trace sink on: per-instance stage
+    /// busy/stall spans and bank-occupancy counters (process id = instance
+    /// index) plus the shared channel's queue-depth counter (process
+    /// [`PID_SHARED_DRAM`]), all in simulated cycles. Call before the first
+    /// submission; collect with [`MultiPipelineSim::take_trace`].
+    pub fn enable_tracing(&mut self) {
+        self.obs = TraceRecorder::enabled();
+        self.obs.process_name(PID_SHARED_DRAM, "dram-channel");
+        self.obs.thread_name(PID_SHARED_DRAM, 0, "dram.queue_depth");
+        for i in 0..self.instances.len() {
+            announce_pipeline(&mut self.obs, i as u64, &format!("inst{i}"));
+        }
+    }
+
+    /// Takes the recorded trace, leaving a disabled recorder behind.
+    pub fn take_trace(&mut self) -> TraceRecorder {
+        std::mem::replace(&mut self.obs, TraceRecorder::disabled())
+    }
+
+    /// Samples the shared-channel queue-depth counter track.
+    fn sample_dram(&mut self, now: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter(
+            PID_SHARED_DRAM,
+            0,
+            "dram.queue_depth",
+            now,
+            &[("requests", self.dram.queued_requests() as f64)],
+        );
+    }
+
+    /// Samples instance `inst`'s ping-pong occupancy counter at boundary `b`.
+    fn sample_bank(&mut self, inst: usize, b: usize, now: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter(
+            inst as u64,
+            TID_BANK_BASE + b as u64,
+            &bank_track(b),
+            now,
+            &[(
+                "occupied",
+                self.instances[inst].buffers[b].occupancy() as f64,
+            )],
+        );
     }
 
     /// Number of pipeline instances.
@@ -369,6 +423,7 @@ impl MultiPipelineSim {
                 },
             );
         }
+        self.sample_dram(now);
     }
 
     fn on_stage_done(
@@ -389,6 +444,9 @@ impl MultiPipelineSim {
             if stage < STAGES - 1 {
                 ins.buffers[stage].mark_ready(tile, now);
             }
+        }
+        if stage > 0 {
+            self.sample_bank(inst, stage - 1, now);
         }
         match stage {
             0 => self.pump_prefetch(inst, now),
@@ -465,18 +523,24 @@ impl MultiPipelineSim {
         };
 
         // Attribute the idle gap to the constraint that resolved last.
-        let waited = now - ins.idle_since[stage];
+        let idle_since = ins.idle_since[stage];
+        let waited = now - idle_since;
+        let mut stall_name = "";
         if waited > 0 {
             if read_at >= input_at && read_at >= out_at {
                 ins.acts[stage].stall_dram += waited;
+                stall_name = "stall:dram";
             } else if input_at >= out_at {
                 ins.acts[stage].stall_input += waited;
+                stall_name = "stall:input";
             } else {
                 ins.acts[stage].stall_output += waited;
+                stall_name = "stall:output";
             }
         }
 
         let dur = ins.tiles[tile].cycles[stage];
+        let request = ins.tiles[tile].request;
         let end = now + dur;
         ins.busy[stage] = true;
         ins.next_tile[stage] = tile + 1;
@@ -484,6 +548,30 @@ impl MultiPipelineSim {
         ins.acts[stage].tiles += 1;
         if stage < STAGES - 1 {
             ins.buffers[stage].reserve(tile, now);
+            self.sample_bank(inst, stage, now);
+        }
+        if self.obs.is_enabled() {
+            if waited > 0 {
+                self.obs.complete(
+                    inst as u64,
+                    stage as u64,
+                    stall_name,
+                    idle_since,
+                    waited,
+                    &[],
+                );
+            }
+            self.obs.complete(
+                inst as u64,
+                stage as u64,
+                &format!("req{request}:tile{tile}"),
+                now,
+                dur,
+                &[
+                    ("request", ArgValue::U64(request)),
+                    ("tile", ArgValue::U64(tile as u64)),
+                ],
+            );
         }
         self.queue.push(
             end,
@@ -653,6 +741,35 @@ mod tests {
             "four instances over one channel must age requests at threshold 1"
         );
         assert!(report.dram_mean_queue_wait > 0.0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run_and_validates() {
+        let sim = CycleSim::new(HwConfig::small());
+        let job = small_job(&sim);
+        let run = |traced: bool| {
+            let mut m = MultiPipelineSim::new(sim.accel.config(), 2, sim.params);
+            if traced {
+                m.enable_tracing();
+            }
+            m.submit(0, 0, &job, 0);
+            m.submit(1, 1, &job, 50);
+            let done = m.run_to_idle();
+            let trace = m.take_trace();
+            (done, m.report(), trace)
+        };
+        let (done_off, report_off, trace_off) = run(false);
+        let (done_on, report_on, trace_on) = run(true);
+        assert_eq!(done_off, done_on);
+        assert_eq!(report_off, report_on);
+        assert!(trace_off.is_empty());
+        let stats =
+            sofa_obs::validate_chrome_trace(&trace_on.to_chrome_json()).expect("valid trace");
+        assert!(stats.spans > 0);
+        assert!(stats.tracks >= 2, "both instances must own tracks");
+        // Repeat runs export byte-identical traces.
+        let again = run(true).2;
+        assert_eq!(trace_on.to_chrome_json(), again.to_chrome_json());
     }
 
     #[test]

@@ -27,11 +27,13 @@ use crate::pingpong::PingPongBuffer;
 use crate::report::{
     BufferActivity, CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry,
 };
+use crate::tracks::{announce_pipeline, bank_track, PID_SINGLE, TID_BANK_BASE, TID_DRAM_QUEUE};
 use sofa_core::tiling::TileSelectionStats;
 use sofa_hw::accel::{AttentionTask, SofaAccelerator, StageCycles};
 use sofa_hw::config::HwConfig;
 use sofa_hw::descriptor::TileWork;
 use sofa_hw::engines::{DlzsWork, KvGenWork, SortWork, SuFaWork};
+use sofa_obs::{ArgValue, TraceRecorder};
 
 pub(crate) const STAGES: usize = 4;
 
@@ -135,8 +137,25 @@ impl CycleSim {
         task: &AttentionTask,
         stats: Option<&TileSelectionStats>,
     ) -> CycleReport {
+        self.run_traced(task, stats, &mut TraceRecorder::disabled())
+    }
+
+    /// [`CycleSim::run_with_stats`] with a trace sink: per-stage busy/stall
+    /// spans, the DRAM queue-depth counter and the ping-pong bank-occupancy
+    /// counters are recorded into `obs` in simulated cycles (see
+    /// [`crate::tracks`] for the track layout). A disabled recorder costs a
+    /// branch per record point and the report is bit-identical either way.
+    /// Use a fresh recorder per run — every run restarts simulated time at
+    /// cycle zero, so appending two runs to one buffer would violate the
+    /// per-track timestamp monotonicity the trace checker enforces.
+    pub fn run_traced(
+        &self,
+        task: &AttentionTask,
+        stats: Option<&TileSelectionStats>,
+        obs: &mut TraceRecorder,
+    ) -> CycleReport {
         let PipelineJob { work, cycles } = self.job(task, stats);
-        Engine::new(self, &work, cycles).run()
+        Engine::new(self, &work, cycles, obs).run()
     }
 
     /// Replays an already-lowered [`PipelineJob`] (see [`CycleSim::job`]).
@@ -144,7 +163,12 @@ impl CycleSim {
     /// lowered from; callers that need both the descriptors and the
     /// simulation pay the lowering once.
     pub fn run_job(&self, job: &PipelineJob) -> CycleReport {
-        Engine::new(self, &job.work, job.cycles.clone()).run()
+        self.run_job_traced(job, &mut TraceRecorder::disabled())
+    }
+
+    /// [`CycleSim::run_job`] with a trace sink (see [`CycleSim::run_traced`]).
+    pub fn run_job_traced(&self, job: &PipelineJob, obs: &mut TraceRecorder) -> CycleReport {
+        Engine::new(self, &job.work, job.cycles.clone(), obs).run()
     }
 
     /// Lowers `task` into a replayable [`PipelineJob`]: the per-tile work
@@ -315,10 +339,16 @@ struct Engine<'a> {
     acts: [StageActivity; STAGES],
     timeline: Vec<TimelineEntry>,
     end_time: u64,
+    obs: &'a mut TraceRecorder,
 }
 
 impl<'a> Engine<'a> {
-    fn new(sim: &'a CycleSim, work: &'a [TileWork], cycles: Vec<[u64; STAGES]>) -> Self {
+    fn new(
+        sim: &'a CycleSim,
+        work: &'a [TileWork],
+        cycles: Vec<[u64; STAGES]>,
+        obs: &'a mut TraceRecorder,
+    ) -> Self {
         let cfg = sim.accel.config();
         let bytes_per_cycle = cfg.dram_bandwidth_bps / cfg.freq_hz;
         let n = work.len();
@@ -348,7 +378,36 @@ impl<'a> Engine<'a> {
             acts: [StageActivity::default(); STAGES],
             timeline: Vec::new(),
             end_time: 0,
+            obs,
         }
+    }
+
+    /// Samples the DRAM queue-depth counter track.
+    fn sample_dram(&mut self, now: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter(
+            PID_SINGLE,
+            TID_DRAM_QUEUE,
+            "dram.queue_depth",
+            now,
+            &[("requests", self.dram.queued_requests() as f64)],
+        );
+    }
+
+    /// Samples the ping-pong occupancy counter of stage boundary `b`.
+    fn sample_bank(&mut self, b: usize, now: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter(
+            PID_SINGLE,
+            TID_BANK_BASE + b as u64,
+            &bank_track(b),
+            now,
+            &[("occupied", self.buffers[b].occupancy() as f64)],
+        );
     }
 
     fn prefetch_depth(&self) -> usize {
@@ -358,6 +417,10 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> CycleReport {
+        announce_pipeline(self.obs, PID_SINGLE, "pipeline");
+        if self.obs.is_enabled() {
+            self.obs.thread_name(PID_SINGLE, TID_DRAM_QUEUE, "dram");
+        }
         // Prime the prediction stage's double-buffered fetch unit.
         for t in 0..self.prefetch_depth().min(self.n) {
             self.issue_read(0, t, 0);
@@ -405,6 +468,7 @@ impl<'a> Engine<'a> {
         if stage > 0 {
             // Drained the upstream bank: the producer may refill it.
             self.buffers[stage - 1].release(tile, now);
+            self.sample_bank(stage - 1, now);
         }
         if stage < STAGES - 1 {
             self.buffers[stage].mark_ready(tile, now);
@@ -474,6 +538,7 @@ impl<'a> Engine<'a> {
                 },
             );
         }
+        self.sample_dram(now);
     }
 
     fn try_start_all(&mut self, now: u64) {
@@ -518,13 +583,17 @@ impl<'a> Engine<'a> {
 
         // Attribute the idle gap to the constraint that resolved last.
         let waited = now - self.idle_since[stage];
+        let mut stall_name = "";
         if waited > 0 {
             if read_at >= input_at && read_at >= out_at {
                 self.acts[stage].stall_dram += waited;
+                stall_name = "stall:dram";
             } else if input_at >= out_at {
                 self.acts[stage].stall_input += waited;
+                stall_name = "stall:input";
             } else {
                 self.acts[stage].stall_output += waited;
+                stall_name = "stall:output";
             }
         }
 
@@ -536,6 +605,27 @@ impl<'a> Engine<'a> {
         self.acts[stage].tiles += 1;
         if stage < STAGES - 1 {
             self.buffers[stage].reserve(tile, now);
+            self.sample_bank(stage, now);
+        }
+        if self.obs.is_enabled() {
+            if waited > 0 {
+                self.obs.complete(
+                    PID_SINGLE,
+                    stage as u64,
+                    stall_name,
+                    self.idle_since[stage],
+                    waited,
+                    &[],
+                );
+            }
+            self.obs.complete(
+                PID_SINGLE,
+                stage as u64,
+                &format!("tile{tile}"),
+                now,
+                dur,
+                &[("tile", ArgValue::U64(tile as u64))],
+            );
         }
         self.timeline.push(TimelineEntry {
             stage,
@@ -682,5 +772,31 @@ mod tests {
         let a = sim.run(&small_task());
         let b = sim.run(&small_task());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_trace_validates() {
+        let sim = CycleSim::new(HwConfig::small());
+        let task = small_task();
+        let plain = sim.run(&task);
+        let mut obs = TraceRecorder::enabled();
+        let traced = sim.run_traced(&task, None, &mut obs);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let stats = sofa_obs::validate_chrome_trace(&obs.to_chrome_json()).expect("valid trace");
+        // One busy span per timeline entry, plus stall spans.
+        assert!(stats.spans >= plain.timeline.len());
+        assert!(stats.counter_samples > 0, "queue/bank counters must sample");
+        assert!(stats.max_ts <= plain.total_cycles);
+    }
+
+    #[test]
+    fn traced_export_is_byte_identical_across_runs() {
+        let sim = CycleSim::new(HwConfig::small());
+        let run = || {
+            let mut obs = TraceRecorder::enabled();
+            sim.run_traced(&small_task(), None, &mut obs);
+            obs.to_chrome_json()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,172 @@
+//! Observability differential and golden-trace tests.
+//!
+//! The `sofa-obs` determinism contract, enforced end to end:
+//!
+//! * **Differential** — instrumented code paths produce *bit-identical*
+//!   reports with tracing on and off, at `SOFA_THREADS` 1, 2 and 8
+//!   (property-tested over random workload shapes for the cycle simulator,
+//!   and on pinned scenarios for the serving scheduler).
+//! * **Golden** — the Chrome trace-event JSON of a pinned serving scenario
+//!   is snapshotted under `tests/golden/serve_trace.json` and must stay
+//!   byte-stable across machines and thread counts. Regenerate after an
+//!   intentional change with `UPDATE_GOLDEN=1 cargo test --test
+//!   observability` and review the diff before committing it.
+
+use proptest::prelude::*;
+use sofa_hw::accel::AttentionTask;
+use sofa_hw::config::HwConfig;
+use sofa_model::trace::{RequestTrace, TraceConfig};
+use sofa_model::OperatingPoint;
+use sofa_obs::{MetricsRegistry, TraceRecorder};
+use sofa_serve::{OpRouter, ServeConfig, ServeReport, ServeSim};
+use sofa_sim::CycleSim;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `got` against the stored snapshot, or rewrites the snapshot
+/// when `UPDATE_GOLDEN` is set in the environment.
+fn assert_matches_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `UPDATE_GOLDEN=1 cargo test --test observability`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name} drifted from its golden snapshot; if the change is \
+         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test --test \
+         observability` and review the diff"
+    );
+}
+
+/// The pinned serving scenario behind the golden trace: small enough to
+/// keep the snapshot reviewable, busy enough (2 instances, mixed classes,
+/// queueing) to exercise every event kind the serving layer records.
+fn golden_scenario() -> (ServeReport, TraceRecorder, MetricsRegistry) {
+    let mut cfg = ServeConfig::new(HwConfig::small(), 2);
+    cfg.op = OperatingPoint::single(0.25, 64);
+    let mut tc = TraceConfig::new(8, 120.0, 42);
+    tc.seq_len = 512;
+    tc.hidden = 256;
+    tc.heads = 4;
+    tc.prefill_queries = 16;
+    let trace = RequestTrace::generate(&tc);
+    let mut obs = TraceRecorder::enabled();
+    let mut metrics = MetricsRegistry::new();
+    let report =
+        ServeSim::new(cfg).run_traced(&trace, OpRouter::TraceNative, &mut obs, &mut metrics);
+    (report, obs, metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tracing must never perturb the cycle simulator: for any task shape,
+    /// the traced report equals the untraced one and the trace bytes are
+    /// identical at every thread count.
+    #[test]
+    fn cycle_sim_is_oblivious_to_tracing(
+        queries in 1usize..24,
+        seq_pow in 6u32..10,
+        keep in 0.05f64..0.9,
+        tile_pow in 4u32..7,
+    ) {
+        let seq_len = 1usize << seq_pow;
+        let tile = 1usize << tile_pow;
+        let task = AttentionTask::new(queries, seq_len, 256, 4, keep, tile);
+        let sim = CycleSim::new(HwConfig::small());
+        let plain = sim.run(&task);
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            let (report, json) = sofa_par::with_threads(threads, || {
+                let mut obs = TraceRecorder::enabled();
+                let report = sim.run_traced(&task, None, &mut obs);
+                (report, obs.to_chrome_json())
+            });
+            prop_assert_eq!(&plain, &report, "traced report drifted at {} threads", threads);
+            sofa_obs::validate_chrome_trace(&json).expect("trace validates");
+            match &baseline {
+                None => baseline = Some(json),
+                Some(b) => prop_assert_eq!(b, &json, "trace bytes differ at {} threads", threads),
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_sim_is_oblivious_to_tracing_at_any_thread_count() {
+    let (plain_report, obs, metrics) = {
+        let (report, obs, metrics) = golden_scenario();
+        (report, obs, metrics)
+    };
+    assert!(!metrics.is_empty());
+    let baseline_trace = obs.to_chrome_json();
+    let baseline_metrics = metrics.to_json();
+    // Untraced run: bit-identical report.
+    let mut cfg = ServeConfig::new(HwConfig::small(), 2);
+    cfg.op = OperatingPoint::single(0.25, 64);
+    let mut tc = TraceConfig::new(8, 120.0, 42);
+    tc.seq_len = 512;
+    tc.hidden = 256;
+    tc.heads = 4;
+    tc.prefill_queries = 16;
+    let trace = RequestTrace::generate(&tc);
+    let untraced = ServeSim::new(cfg).run(&trace);
+    assert_eq!(plain_report, untraced, "tracing perturbed the serve run");
+    // Thread sweep: byte-identical trace and metrics.
+    for threads in [1usize, 2, 8] {
+        let (report, trace_json, metrics_json) = sofa_par::with_threads(threads, || {
+            let (r, o, m) = golden_scenario();
+            (r, o.to_chrome_json(), m.to_json())
+        });
+        assert_eq!(plain_report, report, "report differs at {threads} threads");
+        assert_eq!(
+            baseline_trace, trace_json,
+            "trace bytes differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline_metrics, metrics_json,
+            "metrics differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn serve_trace_golden_is_byte_stable() {
+    let (report, obs, _metrics) = golden_scenario();
+    let json = obs.to_chrome_json();
+    let stats = sofa_obs::validate_chrome_trace(&json).expect("golden trace validates");
+    assert!(
+        stats.spans >= 2 * report.records.len(),
+        "lifecycle spans present"
+    );
+    assert!(stats.counter_samples > 0, "counter tracks present");
+    assert_matches_golden("serve_trace.json", &json);
+}
+
+#[test]
+fn golden_trace_file_is_loadable_and_valid() {
+    // A net over the committed snapshot itself: whatever lands in the repo
+    // must parse and pass the same checker CI gate 5 runs on artifacts.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let text = std::fs::read_to_string(golden_path("serve_trace.json"))
+        .expect("missing tests/golden/serve_trace.json; see module docs");
+    let stats = sofa_obs::validate_chrome_trace(&text).expect("committed golden trace is valid");
+    assert!(stats.events > 0 && stats.tracks > 1);
+}
