@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `ablation_dse` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `ablation_dse` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::ablation_dse().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `ablation_sufa_order` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `ablation_sufa_order` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::ablation_sufa_order().print();
 }

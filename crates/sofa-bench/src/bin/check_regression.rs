@@ -22,7 +22,15 @@
 //! 5. `trace` — the exported `serve_trace` artifacts (enabled by
 //!    `--trace <path>` and `--metrics <path>`, which CI points at the
 //!    bench-smoke outputs) fail the validity checker: schema violations,
-//!    non-monotonic per-track timestamps, or unbalanced begin/end pairs.
+//!    non-monotonic per-track timestamps, or unbalanced begin/end pairs;
+//! 6. `fleet` — fleet serving regresses: at 1 node × 1 instance the fleet
+//!    path's p95 drifts more than 15 % from the single-node scheduler on
+//!    the same trace (they share lowering and admission policy; only the
+//!    epoch quantization and fabric serialization may differ), the served
+//!    counts disagree, or two runs of the pinned multi-node scenario
+//!    produce different tables (the fleet simulation must be deterministic
+//!    — it is what the golden `serve_fleet.json` snapshot and the CI
+//!    thread-matrix byte-identity check consume).
 //!
 //! Exit codes distinguish *what* went wrong: `0` all gates passed, `1` a
 //! gate failed (a genuine regression), `2` an artifact was missing or
@@ -41,6 +49,10 @@ use std::process::ExitCode;
 /// Maximum |relative error| tolerated between cycle simulation and the
 /// analytic model on compute-bound configurations.
 const TOLERANCE: f64 = 0.25;
+
+/// Maximum p95 drift tolerated between the fleet path at 1 node × 1
+/// instance and the single-node scheduler on the same trace.
+const FLEET_TOLERANCE: f64 = 0.15;
 
 /// A tripped gate: which gate, and what it saw.
 struct Failure {
@@ -226,6 +238,70 @@ fn main() -> ExitCode {
             }
         }
         Err(_) => fail("routing", "serve_routed panicked".into(), &mut failures),
+    }
+
+    // Gate 6 — fleet serving consistency and determinism. (Runs before the
+    // artifact gate so a missing artifact cannot mask a fleet regression.)
+    match catch_unwind(experiments::serve_fleet_consistency) {
+        Ok((fleet, single)) => {
+            let drift = sofa_serve::fleet::p95_drift(&fleet, &single);
+            if fleet.served as usize != single.records.len() {
+                fail(
+                    "fleet",
+                    format!(
+                        "fleet 1x1 served {} requests, the single-node scheduler {}",
+                        fleet.served,
+                        single.records.len(),
+                    ),
+                    &mut failures,
+                );
+            } else if drift > FLEET_TOLERANCE {
+                fail(
+                    "fleet",
+                    format!(
+                        "fleet 1x1 p95 {} drifts {:.1}% (> {:.0}%) from the single-node \
+                         scheduler's {}",
+                        fleet.p95(),
+                        100.0 * drift,
+                        100.0 * FLEET_TOLERANCE,
+                        single.p95(),
+                    ),
+                    &mut failures,
+                );
+            } else {
+                println!(
+                    "ok: serve_fleet 1x1 (p95 {} vs single-node {}, drift {:.1}%)",
+                    fleet.p95(),
+                    single.p95(),
+                    100.0 * drift,
+                );
+            }
+        }
+        Err(_) => fail(
+            "fleet",
+            "serve_fleet_consistency panicked".into(),
+            &mut failures,
+        ),
+    }
+    match catch_unwind(|| (experiments::serve_fleet(), experiments::serve_fleet())) {
+        Ok((first, second)) => {
+            if first.to_json() != second.to_json() {
+                fail(
+                    "fleet",
+                    "serve_fleet is non-deterministic across two runs".into(),
+                    &mut failures,
+                );
+            } else if first.rows.is_empty() {
+                fail(
+                    "fleet",
+                    "serve_fleet produced an empty table".into(),
+                    &mut failures,
+                );
+            } else {
+                println!("ok: serve_fleet deterministic ({} rows)", first.rows.len());
+            }
+        }
+        Err(_) => fail("fleet", "serve_fleet panicked".into(), &mut failures),
     }
 
     // Gate 5 — the exported serve_trace artifacts are valid. `--trace` must

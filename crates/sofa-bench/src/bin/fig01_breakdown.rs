@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig01_breakdown` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig01_breakdown` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig01_breakdown().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig03_mat` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig03_mat` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig03_mat().print();
 }

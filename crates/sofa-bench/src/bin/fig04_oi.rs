@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig04_oi` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig04_oi` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig04_oi().print();
 }

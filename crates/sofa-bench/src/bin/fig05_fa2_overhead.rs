@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig05_fa2_overhead` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig05_fa2_overhead` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig05_fa2_overhead().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig08_distribution` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig08_distribution` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig08_distribution().print();
 }

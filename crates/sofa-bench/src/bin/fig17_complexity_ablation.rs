@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig17_complexity_ablation` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig17_complexity_ablation` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig17_complexity_ablation().print();
 }

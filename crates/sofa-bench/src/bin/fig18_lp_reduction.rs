@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig18_lp_reduction` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig18_lp_reduction` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig18_lp_reduction().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig19_throughput` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig19_throughput` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig19_throughput().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig20_memory_energy` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig20_memory_energy` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig20_memory_energy().print();
 }

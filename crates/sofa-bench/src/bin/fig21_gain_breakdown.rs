@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `fig21_gain_breakdown` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `fig21_gain_breakdown` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::fig21_gain_breakdown().print();
 }

@@ -1,0 +1,55 @@
+//! Prints the fleet-scale sharded-serving experiment and optionally writes
+//! it as a JSON artifact (`--json <path>`).
+//!
+//! Two modes:
+//!
+//! * no scale flags — the pinned multi-node scenario behind the
+//!   `serve_fleet` golden snapshot and CI regression gate 6;
+//! * `--requests N [--nodes N] [--instances-per-node N] [--rate F]
+//!   [--disaggregate]` — one run at explicit scale. The CI bench-smoke job
+//!   uses this to push a million requests through 64 simulated instances
+//!   and byte-compares the artifact across `SOFA_THREADS` settings (the
+//!   fleet simulation is bit-identical at any thread count).
+
+use sofa_bench::report::print_and_write;
+
+fn main() {
+    let mut requests: Option<usize> = None;
+    let mut nodes = 8usize;
+    let mut instances_per_node = 8usize;
+    let mut rate = 1500.0f64;
+    let mut disaggregate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--requests" => requests = Some(value("--requests").parse().expect("--requests")),
+            "--nodes" => nodes = value("--nodes").parse().expect("--nodes"),
+            "--instances-per-node" => {
+                instances_per_node = value("--instances-per-node")
+                    .parse()
+                    .expect("--instances-per-node");
+            }
+            "--rate" => rate = value("--rate").parse().expect("--rate"),
+            "--disaggregate" => disaggregate = true,
+            "--json" => {
+                let _ = value("--json"); // consumed again by print_and_write
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let table = match requests {
+        Some(n) => sofa_bench::experiments::serve_fleet_scaled(
+            n,
+            rate,
+            nodes,
+            instances_per_node,
+            disaggregate,
+        ),
+        None => sofa_bench::experiments::serve_fleet(),
+    };
+    print_and_write(&[table]);
+}

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `table1_summary` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `table1_summary` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::table1_summary().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `table2_comparison` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `table2_comparison` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::table2_comparison().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `table3_area_power` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `table3_area_power` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::table3_area_power().print();
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper artefact `table4_power` (see DESIGN.md for the mapping).
+//! Regenerates the paper artefact `table4_power` (see docs/EXPERIMENTS.md for the mapping).
 fn main() {
     sofa_bench::experiments::table4_power().print();
 }

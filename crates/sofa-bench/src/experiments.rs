@@ -29,7 +29,10 @@ use sofa_model::suite::benchmark_suite;
 use sofa_model::trace::{RequestTrace, TraceConfig};
 use sofa_model::workload::{AttentionWorkload, ScoreWorkload};
 use sofa_model::{OperatingPoint, ScoreDistribution};
-use sofa_serve::{RoutedServeStudy, ServeConfig, ServeReport, ServeSim};
+use sofa_serve::{
+    FleetConfig, FleetReport, FleetServeSim, OpRouter, RoutedServeStudy, ServeConfig, ServeReport,
+    ServeSim,
+};
 use sofa_sim::CycleSim;
 use sofa_tensor::seeded_rng;
 
@@ -1214,6 +1217,132 @@ pub fn serve_routed() -> Table {
         &study.budgeted,
     ));
     t
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-scale sharded serving (sofa-serve::fleet over sofa-sim::fleet)
+// ---------------------------------------------------------------------------
+
+/// The fleet serving workload: a lighter per-request shape than the
+/// single-node experiments (512-token context on a 512-wide model, served
+/// at `Bc = 64` — 8 context tiles per request) so million-request traces
+/// stay tractable in the CI smoke job.
+fn fleet_trace(num_requests: usize, arrivals_per_mcycle: f64, seed: u64) -> RequestTrace {
+    let mut tc = TraceConfig::new(num_requests, arrivals_per_mcycle, seed);
+    tc.seq_len = 512;
+    tc.hidden = 512;
+    tc.heads = 8;
+    tc.prefill_queries = 32;
+    tc.keep_ratio = 0.25;
+    RequestTrace::generate(&tc)
+}
+
+/// The fleet configuration of the experiments: paper-default nodes, a
+/// single-layer `Bc = 64` deployment point matched to `fleet_trace`'s
+/// request shape, and the fleet defaults (calendar event queue, 64Ki-cycle
+/// epochs, default fabric).
+pub fn fleet_config(nodes: usize, instances_per_node: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(HwConfig::paper_default(), nodes, instances_per_node);
+    cfg.serve.op = OperatingPoint::single(0.25, 64);
+    cfg
+}
+
+const FLEET_HEADERS: [&str; 11] = [
+    "config",
+    "served",
+    "shed",
+    "p50 kcyc",
+    "p95 kcyc",
+    "p99 kcyc",
+    "queue kcyc",
+    "req/Mcyc",
+    "mean util",
+    "fabric MB",
+    "uJ/req",
+];
+
+/// One fleet serving run rendered as a table row.
+fn fleet_row(label: &str, report: &FleetReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        report.served.to_string(),
+        report.shed.to_string(),
+        format!("{:.1}", report.p50() as f64 / 1e3),
+        format!("{:.1}", report.p95() as f64 / 1e3),
+        format!("{:.1}", report.p99() as f64 / 1e3),
+        format!("{:.1}", report.mean_queueing_delay() / 1e3),
+        format!("{:.1}", report.throughput_per_mcycle()),
+        pct(report.mean_utilization()),
+        format!("{:.1}", report.fabric.total_bytes() as f64 / 1e6),
+        format!("{:.2}", report.energy_pj_per_request() / 1e6),
+    ]
+}
+
+/// Experiment — sharded serving across node counts: the same mixed trace
+/// placed least-booked over 1, 2 and 4 nodes of two instances each, plus a
+/// 4-node run with prefill/decode disaggregation. This is the pinned
+/// scenario behind the `serve_fleet` golden snapshot and CI regression
+/// gate 6.
+pub fn serve_fleet() -> Table {
+    let mut t = Table::new(
+        "Fleet  Sharded serving: least-booked placement across nodes",
+        &FLEET_HEADERS,
+    );
+    let trace = fleet_trace(96, 400.0, 31);
+    let grid = [(1usize, false), (2, false), (4, false), (4, true)];
+    for row in sofa_par::par_map(&grid, |&(nodes, disaggregate)| {
+        let mut cfg = fleet_config(nodes, 2);
+        cfg.disaggregate = disaggregate;
+        let report = FleetServeSim::new(cfg).run(&trace, OpRouter::TraceNative);
+        let label = format!("{nodes}x2{}", if disaggregate { " disagg" } else { "" });
+        fleet_row(&label, &report)
+    }) {
+        t.add_row(row);
+    }
+    t
+}
+
+/// One fleet run at explicit scale — the entry point of the `serve_fleet`
+/// binary's `--requests/--nodes/--instances-per-node/--rate` mode, sized by
+/// CI up to a million requests on 64 simulated instances. Deterministic and
+/// bit-identical at any `SOFA_THREADS`, which CI checks by byte-comparing
+/// the JSON artifact across thread counts.
+pub fn serve_fleet_scaled(
+    requests: usize,
+    rate: f64,
+    nodes: usize,
+    instances_per_node: usize,
+    disaggregate: bool,
+) -> Table {
+    let mut t = Table::new("Fleet  Sharded serving at scale", &FLEET_HEADERS);
+    let trace = fleet_trace(requests, rate, 31);
+    let mut cfg = fleet_config(nodes, instances_per_node);
+    cfg.disaggregate = disaggregate;
+    let report = FleetServeSim::new(cfg).run(&trace, OpRouter::TraceNative);
+    let label = format!(
+        "{requests}req {nodes}x{instances_per_node}{}",
+        if disaggregate { " disagg" } else { "" }
+    );
+    t.add_row(fleet_row(&label, &report));
+    t
+}
+
+/// The 1-node × 1-instance consistency pair behind CI regression gate 6:
+/// the same small trace served by the fleet path (zero-latency fabric, so
+/// only the epoch quantization and link serialization differ) and by the
+/// single-node scheduler. Their p95 must stay within tolerance.
+pub fn serve_fleet_consistency() -> (FleetReport, ServeReport) {
+    let trace = fleet_trace(32, 100.0, 31);
+    let mut cfg = fleet_config(1, 1);
+    cfg.fabric.latency_cycles = 0;
+    // A fine epoch keeps admission-quantization drift well below the gate
+    // tolerance: the fleet admits at epoch boundaries only, so the default
+    // 65 kcycle epoch would add up to one epoch of queueing per request on
+    // a ~340 kcycle trace.
+    cfg.epoch_cycles = 4096;
+    let single = ServeSim::new(cfg.serve.clone()).run(&trace);
+    let fleet = FleetServeSim::new(cfg).run(&trace, OpRouter::TraceNative);
+    (fleet, single)
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,10 @@
 //!   cycles, not wall clock**, exporting Chrome trace-event JSON that loads
 //!   directly in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
+//! Plus one streaming aggregate: [`sketch::QuantileSketch`], the
+//! log-bucketed histogram serving reports use for O(1) latency percentiles
+//! at fleet scale (deterministic, mergeable, ≤1/128 relative error).
+//!
 //! Determinism contract: a disabled recorder is a branch and nothing else
 //! (no allocation, no formatting), so instrumented code paths produce
 //! bit-identical results with tracing off; with tracing on, per-worker
@@ -24,8 +28,10 @@
 pub mod check;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
 pub mod trace;
 
 pub use check::{validate_chrome_trace, TraceStats};
 pub use metrics::MetricsRegistry;
+pub use sketch::QuantileSketch;
 pub use trace::{ArgValue, TraceRecorder};

@@ -247,6 +247,70 @@ where
     })
 }
 
+/// Maps `f` over the items of a mutable slice in place, returning one
+/// result per item in input order.
+///
+/// The slice is split into one contiguous chunk per worker via
+/// `split_at_mut` — no two workers ever alias an item, no work stealing —
+/// so as long as `f(i, item)` touches only its own item, results and item
+/// states are bit-identical at any thread count. This is the entry point
+/// for stepping independently-evolving simulations (the fleet simulator's
+/// nodes) in parallel between synchronization epochs.
+pub fn par_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = configured_threads();
+    if threads <= 1 || n <= 1 || in_parallel_region() {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let bounds = chunk_bounds(n, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Head chunk on the calling thread, tail chunks on scoped workers —
+        // the same layout as `par_map_index`.
+        let (head, mut tail) = items.split_at_mut(bounds[0].1);
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(lo, hi)| {
+                let (chunk, rest) = std::mem::take(&mut tail).split_at_mut(hi - lo);
+                tail = rest;
+                scope.spawn(move || {
+                    let _guard = RegionGuard::enter();
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(off, item)| f(lo + off, item))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let head_out: Vec<U> = {
+            let _guard = RegionGuard::enter();
+            head.iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(n);
+        out.extend(head_out);
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
 /// Runs `a` and `b`, potentially in parallel, returning both results.
 /// `b` executes on the calling thread; `a` on a scoped worker (or inline
 /// when the effective thread count is 1 or the caller is already parallel).
@@ -386,6 +450,22 @@ mod tests {
                 inner,
                 &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3, i * 10 + 4]
             );
+        }
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_in_order() {
+        for threads in [1usize, 2, 3, 8, 100] {
+            let mut items: Vec<u64> = (0..97).collect();
+            let got = with_threads(threads, || {
+                par_map_mut(&mut items, |i, v| {
+                    *v += 1;
+                    *v * i as u64
+                })
+            });
+            let want: Vec<u64> = (0..97u64).map(|i| (i + 1) * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(items, (1..=97).collect::<Vec<u64>>(), "threads={threads}");
         }
     }
 

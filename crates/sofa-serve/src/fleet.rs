@@ -1,0 +1,806 @@
+//! Fleet-scale sharded serving: cross-node placement over `sofa-sim`'s
+//! node/fabric hierarchy.
+//!
+//! [`ServeSim`] schedules one node — `N` instances behind one shared DRAM
+//! channel. [`FleetServeSim`] scales that out: requests are routed across
+//! [`FleetConfig::nodes`] nodes (each a full [`sofa_sim::NodeSim`] with a
+//! private DRAM channel), reaching their node through an inter-node
+//! [`Fabric`] whose per-node ingress links add serialization and latency to
+//! every placement. Placement is least-booked across the whole fleet, with
+//! optional **prefill/decode disaggregation**: prefills pin to one node
+//! pool, decodes to the other, spilling over only when their pool has no
+//! capacity at all.
+//!
+//! **Epoch-synchronized.** The router interacts with the simulation only at
+//! multiples of [`FleetConfig::epoch_cycles`]: each epoch, every node's
+//! event stream advances independently (in parallel via `sofa-par` — nodes
+//! share nothing between boundaries), then completions are folded into the
+//! booking state, arrivals are ingested, and admission runs at the boundary
+//! cycle. Queueing delays are therefore quantized to the epoch; the
+//! boundary is computed from the next pending activity, so idle stretches
+//! are skipped in one step.
+//!
+//! **Fleet-scale accounting.** A million-request trace cannot keep a
+//! per-request record vector; [`FleetReport`] aggregates latency and
+//! queueing delay into streaming [`QuantileSketch`]es (exact below 256
+//! cycles, ≤1/128 relative error above) the moment each completion
+//! surfaces. Lowering is shape-memoized: distinct request shapes are
+//! lowered once (in parallel) and shared as [`Arc<PipelineJob>`]s across
+//! every request of that shape.
+//!
+//! Determinism contract: the report (and, when traced, the Perfetto
+//! artifact: per-node pid windows absorbed in node order, router/fabric
+//! counters stamped at boundary cycles) is byte-identical at any
+//! `SOFA_THREADS` and across repeated runs.
+
+use crate::report::ServeReport;
+use crate::scheduler::{AdmitPolicy, OpRouter, ServeConfig, ServeSim};
+use sofa_model::trace::{RequestClass, RequestTrace};
+use sofa_obs::{MetricsRegistry, QuantileSketch, TraceRecorder};
+use sofa_sim::tracks::{PID_FABRIC, PID_FLEET_ROUTER};
+use sofa_sim::{
+    CycleSim, Fabric, FabricParams, FabricReport, FleetSim, MultiReport, PipelineJob, QueueKind,
+};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Configuration of a sharded serving fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Per-node serving parameters; [`ServeConfig::instances`] is the
+    /// instance count *per node*. The admission knobs (budget, overbooking,
+    /// policy, aging, energy budget) apply fleet-wide.
+    pub serve: ServeConfig,
+    /// Number of nodes, each with [`ServeConfig::instances`] instances and
+    /// a private DRAM channel.
+    pub nodes: usize,
+    /// Inter-node fabric model every placement pays to reach its node.
+    pub fabric: FabricParams,
+    /// Synchronization granularity: the router admits and collects
+    /// completions only at multiples of this cycle count. Larger epochs
+    /// amortize cross-node synchronization (and parallel-stepping overhead)
+    /// at the cost of coarser admission timing.
+    pub epoch_cycles: u64,
+    /// How many waiting requests (oldest first) the smallest-first pick
+    /// scans per admission — bounds the per-admission cost on deep
+    /// backlogs; aging still protects the queue head.
+    pub admit_window: usize,
+    /// Split the fleet into a prefill node pool and a decode node pool
+    /// (each class spills to the other pool only when its own has no
+    /// capacity). Requires at least two nodes.
+    pub disaggregate: bool,
+    /// Fraction of nodes in the prefill pool when disaggregating (rounded,
+    /// clamped so both pools are non-empty).
+    pub prefill_node_fraction: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `nodes` × `instances_per_node` instances of `hw` with the
+    /// single-node serving defaults, the default fabric, a 64Ki-cycle
+    /// epoch, a 64-request admission window, no disaggregation — and the
+    /// calendar event queue, which keeps per-node event handling O(1) at
+    /// fleet event counts (it pops in exactly the heap's order, so this is
+    /// timing-neutral).
+    pub fn new(hw: sofa_hw::config::HwConfig, nodes: usize, instances_per_node: usize) -> Self {
+        let mut serve = ServeConfig::new(hw, instances_per_node);
+        serve.sim.queue_kind = QueueKind::Calendar;
+        FleetConfig {
+            serve,
+            nodes,
+            fabric: FabricParams::default(),
+            epoch_cycles: 1 << 16,
+            admit_window: 64,
+            disaggregate: false,
+            prefill_node_fraction: 0.5,
+        }
+    }
+
+    /// Instances per node.
+    pub fn instances_per_node(&self) -> usize {
+        self.serve.instances
+    }
+
+    /// Total instances across the fleet.
+    pub fn total_instances(&self) -> usize {
+        self.nodes * self.serve.instances
+    }
+
+    /// Number of nodes in the prefill pool (0 when not disaggregating).
+    pub fn prefill_nodes(&self) -> usize {
+        if !self.disaggregate {
+            return 0;
+        }
+        let p = (self.nodes as f64 * self.prefill_node_fraction).round() as usize;
+        p.clamp(1, self.nodes - 1)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        self.serve.validate()?;
+        if self.nodes == 0 {
+            return Err("nodes must be positive".into());
+        }
+        if self.epoch_cycles == 0 {
+            return Err("epoch_cycles must be positive".into());
+        }
+        if self.admit_window == 0 {
+            return Err("admit_window must be positive".into());
+        }
+        if self.disaggregate {
+            if self.nodes < 2 {
+                return Err("disaggregation needs at least two nodes".into());
+            }
+            if !(self.prefill_node_fraction > 0.0 && self.prefill_node_fraction < 1.0) {
+                return Err("prefill_node_fraction must be in (0, 1)".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One distinct request shape, lowered once and shared by every request of
+/// that shape.
+#[derive(Debug)]
+struct Shape {
+    job: Arc<PipelineJob>,
+    footprint: u64,
+    energy_pj: f64,
+    rerouted: bool,
+    admit: bool,
+    class: RequestClass,
+}
+
+/// Aggregated outcome of serving one trace across the fleet. Per-request
+/// records are never materialized — latency and queueing distributions are
+/// streaming sketches, everything else is counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests the energy budget shed.
+    pub shed: u64,
+    /// Served requests the energy budget re-routed to a leaner point.
+    pub rerouted: u64,
+    /// Served prefills.
+    pub prefills: u64,
+    /// Served decodes.
+    pub decodes: u64,
+    /// End-to-end latency distribution (arrival → completion, cycles).
+    pub latency: QuantileSketch,
+    /// Queueing-delay distribution (arrival → admission boundary, cycles;
+    /// quantized to the epoch).
+    pub queueing: QuantileSketch,
+    /// Fleet makespan: the latest cycle any node reached.
+    pub total_cycles: u64,
+    /// Per-node simulation accounting.
+    pub nodes: Vec<MultiReport>,
+    /// Inter-node fabric accounting.
+    pub fabric: FabricReport,
+    /// Total projected energy of the admitted requests in picojoules (from
+    /// the DSE energy model, summed at admission).
+    pub energy_pj: f64,
+    /// Requests placed on each node.
+    pub requests_per_node: Vec<u64>,
+    /// Highest concurrently-booked bytes observed on any single instance of
+    /// each node.
+    pub peak_inflight_bytes: Vec<u64>,
+    /// The effective per-instance admission budget in bytes.
+    pub budget_bytes: u64,
+}
+
+impl FleetReport {
+    /// Latency at percentile `p` (nearest-rank via the streaming sketch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]` or nothing was served.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!(self.served > 0, "no requests were served");
+        self.latency.percentile(p)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile (tail) latency.
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean cycles requests waited for an admission boundary with capacity.
+    pub fn mean_queueing_delay(&self) -> f64 {
+        self.queueing.mean()
+    }
+
+    /// Completed requests per million cycles of makespan.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1.0e6 / self.total_cycles as f64
+    }
+
+    /// Mean projected energy per served request in picojoules.
+    pub fn energy_pj_per_request(&self) -> f64 {
+        if self.served == 0 {
+            return 0.0;
+        }
+        self.energy_pj / self.served as f64
+    }
+
+    /// Mean bottleneck-stage busy fraction of node `n`'s instances over the
+    /// makespan.
+    pub fn node_utilization(&self, n: usize) -> f64 {
+        let node = &self.nodes[n];
+        let total: f64 = node
+            .instances
+            .iter()
+            .map(|i| i.utilization(self.total_cycles))
+            .sum();
+        total / node.instances.len() as f64
+    }
+
+    /// Mean utilization across all nodes.
+    pub fn mean_utilization(&self) -> f64 {
+        (0..self.nodes.len())
+            .map(|n| self.node_utilization(n))
+            .sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    /// Adds the fleet summary to `reg` under the `fleet.` prefix.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc("fleet.requests.total", self.served + self.shed);
+        reg.inc("fleet.requests.served", self.served);
+        reg.inc("fleet.requests.shed", self.shed);
+        reg.inc("fleet.requests.rerouted", self.rerouted);
+        reg.inc("fleet.requests.prefill", self.prefills);
+        reg.inc("fleet.requests.decode", self.decodes);
+        reg.set_gauge("fleet.total_cycles", self.total_cycles as f64);
+        reg.set_gauge("fleet.throughput_per_mcycle", self.throughput_per_mcycle());
+        reg.set_gauge("fleet.mean_queueing_delay", self.mean_queueing_delay());
+        reg.set_gauge("fleet.energy_pj_per_request", self.energy_pj_per_request());
+        if self.served > 0 {
+            reg.set_gauge("fleet.latency_p50", self.p50() as f64);
+            reg.set_gauge("fleet.latency_p95", self.p95() as f64);
+            reg.set_gauge("fleet.latency_p99", self.p99() as f64);
+        }
+        reg.set_gauge("fleet.fabric.bytes", self.fabric.total_bytes() as f64);
+        reg.set_gauge(
+            "fleet.fabric.transfers",
+            self.fabric.total_transfers() as f64,
+        );
+        for n in 0..self.nodes.len() {
+            reg.set_gauge(
+                &format!("fleet.node{n}.requests"),
+                self.requests_per_node[n] as f64,
+            );
+            reg.set_gauge(
+                &format!("fleet.node{n}.utilization"),
+                self.node_utilization(n),
+            );
+            reg.set_gauge(
+                &format!("fleet.node{n}.link_utilization"),
+                self.fabric.link_utilization(n, self.total_cycles),
+            );
+            reg.set_gauge(
+                &format!("fleet.node{n}.peak_inflight_bytes"),
+                self.peak_inflight_bytes[n] as f64,
+            );
+        }
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "served {}  shed {}  rerouted {}  makespan {} cyc  throughput {:.2} req/Mcyc\n",
+            self.served,
+            self.shed,
+            self.rerouted,
+            self.total_cycles,
+            self.throughput_per_mcycle(),
+        ));
+        if self.served > 0 {
+            out.push_str(&format!(
+                "latency p50 {}  p95 {}  p99 {}  mean queueing {:.0} cyc\n",
+                self.p50(),
+                self.p95(),
+                self.p99(),
+                self.mean_queueing_delay(),
+            ));
+        }
+        for n in 0..self.nodes.len() {
+            out.push_str(&format!(
+                "node {n}: {} requests  util {:>5.1}%  link busy {:>4.1}%  peak buffer {}/{} B\n",
+                self.requests_per_node[n],
+                100.0 * self.node_utilization(n),
+                100.0 * self.fabric.link_utilization(n, self.total_cycles),
+                self.peak_inflight_bytes[n],
+                self.budget_bytes,
+            ));
+        }
+        out.push_str(&format!(
+            "fabric: {:.1} MB moved in {} transfers  energy {:.1} nJ/req\n",
+            self.fabric.total_bytes() as f64 / 1e6,
+            self.fabric.total_transfers(),
+            self.energy_pj_per_request() / 1e3,
+        ));
+        out
+    }
+}
+
+/// Mutable routing state of one fleet run.
+struct RouterState {
+    /// Waiting (admitted-eligible) request indices, in arrival order.
+    waiting: VecDeque<usize>,
+    /// Booked bytes per instance slot (`node * instances_per_node + inst`).
+    inflight_bytes: Vec<u64>,
+    /// Admitted-but-incomplete requests per instance slot.
+    inflight_reqs: Vec<usize>,
+    /// Peak booked bytes per instance slot.
+    peak: Vec<u64>,
+    requests_per_node: Vec<u64>,
+    latency: QuantileSketch,
+    queueing: QuantileSketch,
+    served: u64,
+    energy_pj: f64,
+}
+
+/// The fleet-scale serving simulator.
+#[derive(Debug)]
+pub struct FleetServeSim {
+    cfg: FleetConfig,
+}
+
+impl FleetServeSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FleetConfig::validate`].
+    pub fn new(cfg: FleetConfig) -> Self {
+        cfg.validate().expect("invalid fleet config");
+        FleetServeSim { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Serves `trace` across the fleet under `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn run(&self, trace: &RequestTrace, router: OpRouter) -> FleetReport {
+        self.run_inner(trace, router, &mut TraceRecorder::disabled())
+    }
+
+    /// [`FleetServeSim::run`] plus observability: per-node pipeline tracks
+    /// (each node in its own pid window), router wait-queue and per-node
+    /// fabric counters land in `obs`; the report's summary lands in
+    /// `metrics`. Unlike the single-node scheduler, no per-request spans
+    /// are emitted — at fleet request counts they would dwarf the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn run_traced(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+        obs: &mut TraceRecorder,
+        metrics: &mut MetricsRegistry,
+    ) -> FleetReport {
+        let report = self.run_inner(trace, router, obs);
+        report.record_metrics(metrics);
+        report
+    }
+
+    /// Lowers the trace shape-memoized: one [`ServeSim`] lowering per
+    /// *distinct* request shape (in parallel, first-occurrence order), an
+    /// index into the shape table per request.
+    fn lower_shapes(&self, trace: &RequestTrace, router: OpRouter) -> (Vec<Shape>, Vec<usize>) {
+        let mut csim = CycleSim::new(self.cfg.serve.hw);
+        csim.params = self.cfg.serve.sim;
+        let lowerer = ServeSim::new(self.cfg.serve.clone());
+        let mut table: HashMap<(u8, usize, usize, usize, usize, u64), usize> = HashMap::new();
+        let mut shape_of = Vec::with_capacity(trace.requests.len());
+        let mut reps: Vec<usize> = Vec::new();
+        for (i, spec) in trace.requests.iter().enumerate() {
+            let key = (
+                match spec.class {
+                    RequestClass::Prefill => 0u8,
+                    RequestClass::Decode => 1,
+                },
+                spec.queries,
+                spec.seq_len,
+                spec.hidden,
+                spec.heads,
+                spec.keep_ratio.to_bits(),
+            );
+            let idx = *table.entry(key).or_insert_with(|| {
+                reps.push(i);
+                reps.len() - 1
+            });
+            shape_of.push(idx);
+        }
+        let shapes = sofa_par::par_map_index(reps.len(), |k| {
+            let spec = &trace.requests[reps[k]];
+            let low = lowerer.lower_routed(&csim, spec, &router);
+            Shape {
+                job: Arc::new(low.job),
+                footprint: low.footprint,
+                energy_pj: low.energy_pj,
+                rerouted: low.rerouted,
+                admit: low.admit,
+                class: low.class,
+            }
+        });
+        (shapes, shape_of)
+    }
+
+    /// The node pool `class` placements try first.
+    fn pool(&self, class: RequestClass) -> Range<usize> {
+        if !self.cfg.disaggregate {
+            return 0..self.cfg.nodes;
+        }
+        let p = self.cfg.prefill_nodes();
+        match class {
+            RequestClass::Prefill => 0..p,
+            RequestClass::Decode => p..self.cfg.nodes,
+        }
+    }
+
+    /// Position in `waiting` of the next request to try: the aged head if
+    /// it starved past the threshold, else the policy's pick over the first
+    /// [`FleetConfig::admit_window`] waiters.
+    fn pick(
+        &self,
+        now: u64,
+        waiting: &VecDeque<usize>,
+        trace: &RequestTrace,
+        shapes: &[Shape],
+        shape_of: &[usize],
+    ) -> usize {
+        let oldest_wait = now.saturating_sub(trace.requests[waiting[0]].arrival_cycle);
+        if oldest_wait >= self.cfg.serve.aging_threshold {
+            return 0;
+        }
+        match self.cfg.serve.policy {
+            AdmitPolicy::Fifo => 0,
+            AdmitPolicy::SmallestFirst => (0..waiting.len().min(self.cfg.admit_window))
+                .min_by_key(|&p| (shapes[shape_of[waiting[p]]].footprint, waiting[p]))
+                .expect("waiting is non-empty"),
+        }
+    }
+
+    /// Least-booked instance slot in `nodes` that fits `fp` more bytes (or
+    /// is completely idle, so oversized requests always make progress).
+    fn place(&self, nodes: Range<usize>, fp: u64, state: &RouterState) -> Option<(usize, usize)> {
+        let ipn = self.cfg.serve.instances;
+        let budget = self.cfg.serve.budget_bytes();
+        nodes
+            .flat_map(|n| (0..ipn).map(move |i| (n, i)))
+            .filter(|&(n, i)| {
+                let slot = n * ipn + i;
+                state.inflight_reqs[slot] == 0 || state.inflight_bytes[slot] + fp <= budget
+            })
+            .min_by_key(|&(n, i)| (state.inflight_bytes[n * ipn + i], n, i))
+    }
+
+    /// Admits as many waiting requests as fit, at boundary cycle `now`:
+    /// pick (aged head or windowed smallest-first), place (least-booked in
+    /// the class pool, spilling fleet-wide when the pool is full), book the
+    /// fabric transfer, and hand the job to the node at its delivery cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn try_admit(
+        &self,
+        now: u64,
+        trace: &RequestTrace,
+        shapes: &[Shape],
+        shape_of: &[usize],
+        state: &mut RouterState,
+        fabric: &mut Fabric,
+        fleet: &mut FleetSim,
+        obs: &mut TraceRecorder,
+    ) {
+        let ipn = self.cfg.serve.instances;
+        while !state.waiting.is_empty() {
+            let pos = self.pick(now, &state.waiting, trace, shapes, shape_of);
+            let req = state.waiting[pos];
+            let shape = &shapes[shape_of[req]];
+            let fp = shape.footprint;
+            let target = self.place(self.pool(shape.class), fp, state).or_else(|| {
+                self.cfg
+                    .disaggregate
+                    .then(|| self.place(0..self.cfg.nodes, fp, state))
+                    .flatten()
+            });
+            let Some((node, inst)) = target else {
+                // The candidate fits nowhere; the next boundary retries.
+                // Stopping (not skipping to a smaller request) keeps the
+                // aged head from being overtaken forever.
+                return;
+            };
+            state.waiting.remove(pos);
+            let delivery = fabric.transfer(node, fp, now);
+            fleet.submit(node, inst, req as u64, Arc::clone(&shape.job), delivery);
+            let slot = node * ipn + inst;
+            state.inflight_bytes[slot] += fp;
+            state.inflight_reqs[slot] += 1;
+            state.peak[slot] = state.peak[slot].max(state.inflight_bytes[slot]);
+            state.requests_per_node[node] += 1;
+            state.energy_pj += shape.energy_pj;
+            state
+                .queueing
+                .record(now - trace.requests[req].arrival_cycle);
+            if obs.is_enabled() {
+                obs.counter(
+                    PID_FABRIC,
+                    node as u64,
+                    "fabric.bytes",
+                    now,
+                    &[("bytes", fabric.report().links[node].bytes as f64)],
+                );
+            }
+        }
+    }
+
+    fn run_inner(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+        obs: &mut TraceRecorder,
+    ) -> FleetReport {
+        assert!(!trace.is_empty(), "cannot serve an empty trace");
+        let s = &self.cfg.serve;
+        let ipn = s.instances;
+        let (shapes, shape_of) = self.lower_shapes(trace, router);
+
+        let mut fleet = FleetSim::new(&s.hw, self.cfg.nodes, ipn, s.sim);
+        let mut fabric = Fabric::new(self.cfg.fabric, self.cfg.nodes);
+        if obs.is_enabled() {
+            obs.process_name(PID_FLEET_ROUTER, "fleet-router");
+            obs.thread_name(PID_FLEET_ROUTER, 0, "fleet.wait_queue");
+            obs.process_name(PID_FABRIC, "fabric");
+            for n in 0..self.cfg.nodes {
+                obs.thread_name(PID_FABRIC, n as u64, &format!("fabric.node{n}.bytes"));
+            }
+            fleet.enable_tracing();
+        }
+
+        let mut state = RouterState {
+            waiting: VecDeque::new(),
+            inflight_bytes: vec![0; self.cfg.total_instances()],
+            inflight_reqs: vec![0; self.cfg.total_instances()],
+            peak: vec![0; self.cfg.total_instances()],
+            requests_per_node: vec![0; self.cfg.nodes],
+            latency: QuantileSketch::new(),
+            queueing: QuantileSketch::new(),
+            served: 0,
+            energy_pj: 0.0,
+        };
+        let mut shed = 0u64;
+        let mut rerouted = 0u64;
+        let mut prefills = 0u64;
+        let mut decodes = 0u64;
+        let mut next_arrival = 0usize;
+        let epoch = self.cfg.epoch_cycles;
+        let specs = &trace.requests;
+
+        loop {
+            let fleet_next = fleet.next_activity();
+            let arr_next = specs.get(next_arrival).map(|r| r.arrival_cycle);
+            let next = match (fleet_next, arr_next) {
+                (Some(a), Some(b)) => a.min(b),
+                (a, b) => match a.or(b) {
+                    Some(t) => t,
+                    None => break,
+                },
+            };
+            // The first boundary strictly past the next pending activity —
+            // idle stretches collapse into one epoch step.
+            let boundary = (next / epoch + 1) * epoch;
+            for c in fleet.run_until(boundary) {
+                let req = c.request as usize;
+                let slot = c.node * ipn + c.instance;
+                state.inflight_bytes[slot] -= shapes[shape_of[req]].footprint;
+                state.inflight_reqs[slot] -= 1;
+                state.latency.record(c.time - specs[req].arrival_cycle);
+                state.served += 1;
+            }
+            while next_arrival < specs.len() && specs[next_arrival].arrival_cycle < boundary {
+                let shape = &shapes[shape_of[next_arrival]];
+                if shape.admit {
+                    state.waiting.push_back(next_arrival);
+                    if shape.rerouted {
+                        rerouted += 1;
+                    }
+                    match shape.class {
+                        RequestClass::Prefill => prefills += 1,
+                        RequestClass::Decode => decodes += 1,
+                    }
+                } else {
+                    shed += 1;
+                }
+                next_arrival += 1;
+            }
+            self.try_admit(
+                boundary,
+                trace,
+                &shapes,
+                &shape_of,
+                &mut state,
+                &mut fabric,
+                &mut fleet,
+                obs,
+            );
+            if obs.is_enabled() {
+                obs.counter(
+                    PID_FLEET_ROUTER,
+                    0,
+                    "fleet.wait_queue",
+                    boundary,
+                    &[("waiting", state.waiting.len() as f64)],
+                );
+            }
+        }
+        debug_assert!(state.waiting.is_empty(), "all eligible requests admitted");
+        obs.absorb(fleet.take_trace());
+
+        let sim_report = fleet.report();
+        let total_cycles = sim_report
+            .nodes
+            .iter()
+            .map(|n| n.total_cycles)
+            .max()
+            .unwrap_or(0);
+        let peak_inflight_bytes = (0..self.cfg.nodes)
+            .map(|n| (0..ipn).map(|i| state.peak[n * ipn + i]).max().unwrap_or(0))
+            .collect();
+        FleetReport {
+            served: state.served,
+            shed,
+            rerouted,
+            prefills,
+            decodes,
+            latency: state.latency,
+            queueing: state.queueing,
+            total_cycles,
+            nodes: sim_report.nodes,
+            fabric: fabric.report(),
+            energy_pj: state.energy_pj,
+            requests_per_node: state.requests_per_node,
+            peak_inflight_bytes,
+            budget_bytes: s.budget_bytes(),
+        }
+    }
+}
+
+/// How far the fleet's p95 latency drifts from a reference single-node
+/// serving run of the same trace — the 1-node × 1-instance consistency
+/// check the regression gate enforces.
+pub fn p95_drift(fleet: &FleetReport, single: &ServeReport) -> f64 {
+    let f = fleet.p95() as f64;
+    let s = single.p95() as f64;
+    (f - s).abs() / s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofa_hw::config::HwConfig;
+    use sofa_model::trace::TraceConfig;
+
+    fn small_trace(n: usize, rate: f64) -> RequestTrace {
+        let mut tc = TraceConfig::new(n, rate, 42);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        RequestTrace::generate(&tc)
+    }
+
+    fn small_cfg(nodes: usize, ipn: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::new(HwConfig::small(), nodes, ipn);
+        cfg.epoch_cycles = 4096;
+        cfg
+    }
+
+    #[test]
+    fn fleet_serves_every_request() {
+        let trace = small_trace(24, 100.0);
+        let report = FleetServeSim::new(small_cfg(2, 2)).run(&trace, OpRouter::TraceNative);
+        assert_eq!(report.served, 24);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.prefills + report.decodes, 24);
+        assert_eq!(report.requests_per_node.iter().sum::<u64>(), 24);
+        assert!(report.p50() <= report.p95());
+        assert!(report.p95() <= report.p99());
+        assert!(report.total_cycles > 0);
+        // Every placement crossed the fabric.
+        assert_eq!(report.fabric.total_transfers(), 24);
+    }
+
+    #[test]
+    fn fleet_is_deterministic_across_runs_and_epochs_shift_timing_only() {
+        let trace = small_trace(16, 100.0);
+        let sim = FleetServeSim::new(small_cfg(2, 1));
+        let a = sim.run(&trace, OpRouter::TraceNative);
+        let b = sim.run(&trace, OpRouter::TraceNative);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disaggregation_splits_classes_across_pools() {
+        let trace = small_trace(24, 100.0);
+        let mut cfg = small_cfg(2, 1);
+        cfg.disaggregate = true;
+        let sim = FleetServeSim::new(cfg);
+        let report = sim.run(&trace, OpRouter::TraceNative);
+        assert_eq!(report.served, 24);
+        // Pool split: node 0 takes prefills, node 1 decodes. Spillover may
+        // blur the split under pressure, but both nodes must see work.
+        assert!(report.requests_per_node.iter().all(|&r| r > 0));
+        assert_eq!(sim.config().prefill_nodes(), 1);
+    }
+
+    #[test]
+    fn single_node_fleet_tracks_the_single_node_scheduler() {
+        let trace = small_trace(12, 50.0);
+        let mut cfg = small_cfg(1, 1);
+        // Isolate the epoch/fabric overheads the fleet path adds.
+        cfg.fabric.latency_cycles = 0;
+        let single = ServeSim::new(cfg.serve.clone()).run(&trace);
+        let fleet = FleetServeSim::new(cfg).run(&trace, OpRouter::TraceNative);
+        assert_eq!(fleet.served as usize, single.records.len());
+        assert!(
+            p95_drift(&fleet, &single) < 0.15,
+            "fleet p95 {} vs single {}",
+            fleet.p95(),
+            single.p95()
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_validates() {
+        let trace = small_trace(10, 100.0);
+        let sim = FleetServeSim::new(small_cfg(2, 1));
+        let plain = sim.run(&trace, OpRouter::TraceNative);
+        let mut obs = TraceRecorder::enabled();
+        let mut metrics = MetricsRegistry::new();
+        let traced = sim.run_traced(&trace, OpRouter::TraceNative, &mut obs, &mut metrics);
+        assert_eq!(plain, traced);
+        let json = obs.to_chrome_json();
+        let stats = sofa_obs::validate_chrome_trace(&json).expect("valid trace");
+        assert!(stats.spans > 0);
+        assert!(json.contains("fleet-router"));
+        assert!(json.contains("fabric.node1.bytes"));
+        assert!(json.contains("node1.dram-channel"));
+        assert!(!metrics.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fleet config")]
+    fn zero_nodes_rejected() {
+        FleetServeSim::new(FleetConfig {
+            nodes: 0,
+            ..small_cfg(1, 1)
+        });
+    }
+}

@@ -21,6 +21,11 @@
 //!   same trace at the paper-default point, a DSE-tuned point, and
 //!   per-request Pareto routing (`sofa_dse::DseReport`), for side-by-side
 //!   latency/energy comparison.
+//! * [`fleet`] — [`FleetServeSim`]: sharded serving across many nodes
+//!   (each a private-DRAM `sofa_sim::NodeSim`) joined by an inter-node
+//!   fabric; epoch-synchronized least-booked placement with optional
+//!   prefill/decode disaggregation, reporting streaming-sketch percentiles
+//!   ([`FleetReport`]) so million-request traces stay cheap.
 //!
 //! # Example
 //!
@@ -40,10 +45,12 @@
 //! assert!(report.p99() >= report.p50());
 //! ```
 
+pub mod fleet;
 pub mod report;
 pub mod routing;
 pub mod scheduler;
 
+pub use fleet::{FleetConfig, FleetReport, FleetServeSim};
 pub use report::{RequestRecord, ServeReport, ShedRecord};
 pub use routing::{DseServeComparison, RoutedServeStudy};
 pub use scheduler::{AdmitPolicy, OpRouter, ServeConfig, ServeSim};

@@ -91,7 +91,7 @@ pub enum OpRouter<'a> {
 
 impl OpRouter<'_> {
     /// The operating point this router assigns to `spec`.
-    fn pick(&self, deployment: &OperatingPoint, spec: &RequestSpec) -> OperatingPoint {
+    pub(crate) fn pick(&self, deployment: &OperatingPoint, spec: &RequestSpec) -> OperatingPoint {
         match self {
             OpRouter::TraceNative => deployment.with_uniform_keep(spec.keep_ratio),
             OpRouter::Fixed(op) => (*op).clone(),
@@ -200,19 +200,19 @@ impl ServeConfig {
 
 /// One request lowered and waiting for (or past) admission.
 #[derive(Debug)]
-struct Lowered {
-    class: RequestClass,
-    arrival: u64,
-    job: PipelineJob,
+pub(crate) struct Lowered {
+    pub(crate) class: RequestClass,
+    pub(crate) arrival: u64,
+    pub(crate) job: PipelineJob,
     /// Bytes admission control books for the request (the worst layer).
-    footprint: u64,
+    pub(crate) footprint: u64,
     /// Projected energy of the whole request (all layers) in picojoules.
-    energy_pj: f64,
+    pub(crate) energy_pj: f64,
     /// Whether the energy budget re-routed this request to a leaner point.
-    rerouted: bool,
+    pub(crate) rerouted: bool,
     /// `false` when the request exceeded the energy budget even at the
     /// leanest point and was shed instead of admitted.
-    admit: bool,
+    pub(crate) admit: bool,
 }
 
 /// The continuous-batching serving simulator.
@@ -295,7 +295,12 @@ impl ServeSim {
     /// Lowers one request through `router`, applying the energy budget:
     /// over-budget requests are re-routed to the router's leanest point,
     /// and shed when they exceed the budget even there.
-    fn lower_routed(&self, csim: &CycleSim, spec: &RequestSpec, router: &OpRouter) -> Lowered {
+    pub(crate) fn lower_routed(
+        &self,
+        csim: &CycleSim,
+        spec: &RequestSpec,
+        router: &OpRouter,
+    ) -> Lowered {
         let op = router.pick(&self.cfg.op, spec);
         let mut lowering = self.lower_at(csim, spec, &op);
         let mut rerouted = false;
@@ -532,7 +537,7 @@ impl ServeSim {
             }
         }
 
-        let records = lowered
+        let records: Vec<RequestRecord> = lowered
             .iter()
             .enumerate()
             .filter(|(_, req)| req.admit)
@@ -556,6 +561,7 @@ impl ServeSim {
             .collect();
         let multi = msim.report();
         obs.absorb(msim.take_trace());
+        let latency = ServeReport::sketch_latencies(&records);
         ServeReport {
             records,
             shed,
@@ -564,6 +570,7 @@ impl ServeSim {
             budget_bytes: self.cfg.budget_bytes(),
             peak_inflight_bytes: state.peak_inflight,
             energy_pj_per_instance: state.energy_pj,
+            latency,
         }
     }
 

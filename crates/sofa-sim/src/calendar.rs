@@ -1,0 +1,329 @@
+//! Calendar-queue (time-wheel) event scheduling.
+//!
+//! [`CalendarQueue`] is a drop-in alternative to the binary-heap
+//! [`crate::event::EventQueue`]: same `(time, kind)` API, same **exact**
+//! pop order — earliest timestamp first, equal timestamps FIFO by push
+//! order. Instead of one heap over all pending events it hashes events
+//! into time buckets of a fixed `width` and pops by scanning the bucket
+//! that covers the current simulated time window, the classic O(1)
+//! calendar-queue structure (R. Brown, CACM 1988). Fleet-scale serving
+//! runs schedule tens of millions of events whose timestamps cluster
+//! tightly around the cursor, which is exactly the access pattern the
+//! calendar shape is built for.
+//!
+//! Determinism contract: equal-time events land in the *same* bucket
+//! (the bucket index is a pure function of the timestamp) and each bucket
+//! is kept sorted by `(time, seq)`, so FIFO tie-breaking is preserved
+//! bit-for-bit — `tests/property_tests.rs` differentially checks any
+//! interleaving of pushes and pops against the heap queue. Resizing is
+//! triggered by pure functions of the queue's length and rebuilds the
+//! calendar in one deterministic pass; no wall-clock or randomised
+//! heuristics are involved.
+
+use crate::event::Scheduled;
+use std::collections::VecDeque;
+
+/// Initial (and minimum) number of buckets; always a power of two.
+const MIN_BUCKETS: usize = 64;
+
+/// A time-wheel priority queue with FIFO tie-breaking, pop-order-identical
+/// to [`crate::event::EventQueue`].
+#[derive(Debug)]
+pub struct CalendarQueue<K> {
+    /// `buckets[i]` holds events with `(time / width) % nbuckets == i`,
+    /// sorted ascending by `(time, seq)`.
+    buckets: Vec<VecDeque<Scheduled<K>>>,
+    /// Bucket time span in cycles.
+    width: u64,
+    /// Bucket the pop cursor is currently scanning.
+    cursor: usize,
+    /// Exclusive upper bound of the cursor bucket's current time window.
+    window_end: u64,
+    /// Total pending events.
+    len: usize,
+    /// Monotonic push stamp for FIFO tie-breaking.
+    next_seq: u64,
+}
+
+impl<K> Default for CalendarQueue<K> {
+    fn default() -> Self {
+        Self::with_width(64)
+    }
+}
+
+impl<K> CalendarQueue<K> {
+    /// Creates an empty calendar with the default bucket width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty calendar whose buckets each span `width` cycles
+    /// (clamped to at least 1). The width adapts on resize; the initial
+    /// value only matters until the first rehash.
+    pub fn with_width(width: u64) -> Self {
+        let width = width.max(1);
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            width,
+            cursor: 0,
+            window_end: width,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Bucket index of timestamp `time`.
+    fn bucket_of(&self, time: u64) -> usize {
+        ((time / self.width) as usize) % self.buckets.len()
+    }
+
+    /// Exclusive end of the window that contains `time`.
+    fn window_end_of(&self, time: u64) -> u64 {
+        (time / self.width + 1).saturating_mul(self.width)
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn push(&mut self, time: u64, kind: K) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.len + 1 > 4 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+        let idx = self.bucket_of(time);
+        let bucket = &mut self.buckets[idx];
+        // Sorted insert by (time, seq); seq is monotone, so among pushes of
+        // the same timestamp partition_point lands past all earlier ones —
+        // the FIFO order the heap queue guarantees.
+        let at = bucket.partition_point(|s| (s.time, s.seq) < (time, seq));
+        bucket.insert(at, Scheduled { time, seq, kind });
+        self.len += 1;
+        // An event scheduled before the cursor's current window (possible
+        // when the cursor raced ahead over empty buckets) pulls the cursor
+        // back so the pop scan cannot skip it.
+        let ev_end = self.window_end_of(time);
+        if ev_end < self.window_end {
+            self.window_end = ev_end;
+            self.cursor = idx;
+        }
+    }
+
+    /// Pops the earliest event, returning `(time, kind)`; equal timestamps
+    /// come back in push order (FIFO), exactly like the heap queue.
+    pub fn pop(&mut self) -> Option<(u64, K)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mut scanned = 0usize;
+        loop {
+            let front_in_window = self.buckets[self.cursor]
+                .front()
+                .is_some_and(|s| s.time < self.window_end);
+            if front_in_window {
+                let ev = self.buckets[self.cursor]
+                    .pop_front()
+                    .expect("front checked above");
+                self.len -= 1;
+                if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some((ev.time, ev.kind));
+            }
+            self.cursor = (self.cursor + 1) % nb;
+            self.window_end += self.width;
+            scanned += 1;
+            if scanned >= nb {
+                // A full lap found nothing in the current year: the next
+                // event is far ahead. Jump straight to the global minimum
+                // instead of spinning year by year.
+                let (idx, time) = self
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| b.front().map(|s| (i, s.time, s.seq)))
+                    .min_by_key(|&(_, t, seq)| (t, seq))
+                    .map(|(i, t, _)| (i, t))
+                    .expect("len > 0 but every bucket is empty");
+                self.cursor = idx;
+                self.window_end = self.window_end_of(time);
+                scanned = 0;
+            }
+        }
+    }
+
+    /// Timestamp of the next event without popping it.
+    ///
+    /// Walks forward from the pop cursor (without moving it), falling back
+    /// to a global scan after one empty lap — the same order [`Self::pop`]
+    /// uses, so peek-then-pop always agree.
+    pub fn peek_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mut cursor = self.cursor;
+        let mut window_end = self.window_end;
+        for _ in 0..nb {
+            if let Some(s) = self.buckets[cursor].front() {
+                if s.time < window_end {
+                    return Some(s.time);
+                }
+            }
+            cursor = (cursor + 1) % nb;
+            window_end += self.width;
+        }
+        self.buckets
+            .iter()
+            .filter_map(|b| b.front().map(|s| s.time))
+            .min()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Rebuilds the calendar with `nbuckets` buckets and a width derived
+    /// from the pending events' time span (mean inter-event gap, clamped) —
+    /// a pure function of the queue contents, so resize points and the
+    /// post-resize layout are identical across runs.
+    fn resize(&mut self, nbuckets: usize) {
+        let nbuckets = nbuckets.max(MIN_BUCKETS);
+        let mut events: Vec<Scheduled<K>> =
+            self.buckets.iter_mut().flat_map(|b| b.drain(..)).collect();
+        events.sort_by_key(|s| (s.time, s.seq));
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            let span = last.time - first.time;
+            self.width = (span / events.len() as u64).clamp(1, 1 << 20);
+        }
+        self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+        // Re-inserting in (time, seq) order keeps every bucket sorted
+        // without per-element search.
+        let start = events.first().map(|s| s.time).unwrap_or(0);
+        self.cursor = self.bucket_of(start);
+        self.window_end = self.window_end_of(start);
+        for ev in events {
+            let idx = self.bucket_of(ev.time);
+            self.buckets[idx].push_back(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, EventQueue};
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(30, EventKind::DramFree);
+        q.push(10, EventKind::StageDone { stage: 0, tile: 0 });
+        q.push(20, EventKind::StageDone { stage: 1, tile: 0 });
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = CalendarQueue::new();
+        for stage in 0..4 {
+            q.push(5, EventKind::StageDone { stage, tile: 9 });
+        }
+        for stage in 0..4 {
+            let (t, kind) = q.pop().unwrap();
+            assert_eq!(t, 5);
+            assert_eq!(kind, EventKind::StageDone { stage, tile: 9 });
+        }
+    }
+
+    #[test]
+    fn far_future_events_are_reached_via_the_lap_fallback() {
+        let mut q = CalendarQueue::with_width(4);
+        q.push(1_000_000_000, 1u32);
+        q.push(3, 0u32);
+        assert_eq!(q.pop(), Some((3, 0)));
+        assert_eq!(q.pop(), Some((1_000_000_000, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn past_inserts_pull_the_cursor_back() {
+        let mut q = CalendarQueue::with_width(8);
+        q.push(1000, 0u32);
+        assert_eq!(q.pop(), Some((1000, 0)));
+        // The cursor now sits at t=1000's window; an earlier event must
+        // still come out first.
+        q.push(5, 1u32);
+        q.push(2000, 2u32);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((2000, 2)));
+    }
+
+    #[test]
+    fn growth_and_shrink_keep_order() {
+        let mut q = CalendarQueue::with_width(2);
+        let n = 4096u64;
+        for i in 0..n {
+            // Clustered but out-of-order pushes with duplicates.
+            q.push((i * 37) % 501, i as u32);
+        }
+        assert_eq!(q.len(), n as usize);
+        let mut prev = (0u64, 0u64);
+        let mut popped = 0;
+        let mut seen_seq_at_time = std::collections::HashMap::new();
+        while let Some((t, v)) = q.pop() {
+            assert!(t >= prev.0, "time order violated: {t} after {}", prev.0);
+            // FIFO among equal timestamps: push stamps (== payload here)
+            // must increase.
+            let last = seen_seq_at_time.entry(t).or_insert(0u32);
+            assert!(v >= *last, "FIFO violated at t={t}: {v} after {last}");
+            *last = v;
+            prev = (t, v as u64);
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    }
+
+    #[test]
+    fn differential_vs_heap_on_interleaved_ops() {
+        // A deterministic pseudo-random interleaving of pushes and pops;
+        // the proptest in tests/property_tests.rs explores random ones.
+        let mut heap = EventQueue::<u64>::new();
+        let mut cal = CalendarQueue::<u64>::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..10_000u64 {
+            if step() % 3 == 0 {
+                assert_eq!(heap.pop(), cal.pop(), "pop {i} diverged");
+            } else {
+                let t = step() % 997;
+                heap.push(t, i);
+                cal.push(t, i);
+            }
+            assert_eq!(heap.len(), cal.len());
+            assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            assert_eq!(h, c);
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -39,10 +39,10 @@ pub enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Scheduled<K> {
-    time: u64,
-    seq: u64,
-    kind: K,
+pub(crate) struct Scheduled<K> {
+    pub(crate) time: u64,
+    pub(crate) seq: u64,
+    pub(crate) kind: K,
 }
 
 // Ordering is keyed on (time, seq) only — the payload never participates, so
@@ -123,6 +123,61 @@ impl<K> EventQueue<K> {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+}
+
+/// Which event-queue implementation a simulation schedules through.
+///
+/// Both implementations produce the **same pop order** (earliest timestamp
+/// first, FIFO among ties) — the choice is purely a data-structure trade:
+/// the binary heap is compact and branch-cheap for the small queues of
+/// single-task runs, the calendar queue ([`crate::calendar::CalendarQueue`])
+/// scans in near-constant time when millions of events cluster around the
+/// simulation cursor, as fleet-scale serving runs do. The differential
+/// proptest in `tests/property_tests.rs` enforces the equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Binary min-heap ([`EventQueue`]) — the default.
+    #[default]
+    Heap,
+    /// Calendar queue / time wheel ([`crate::calendar::CalendarQueue`]).
+    Calendar,
+}
+
+/// An event queue of either [`QueueKind`], dispatching the common API.
+#[derive(Debug)]
+pub(crate) enum SimQueue<K> {
+    Heap(EventQueue<K>),
+    Calendar(crate::calendar::CalendarQueue<K>),
+}
+
+impl<K> SimQueue<K> {
+    pub(crate) fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => SimQueue::Heap(EventQueue::new()),
+            QueueKind::Calendar => SimQueue::Calendar(crate::calendar::CalendarQueue::new()),
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: u64, kind: K) {
+        match self {
+            SimQueue::Heap(q) => q.push(time, kind),
+            SimQueue::Calendar(q) => q.push(time, kind),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(u64, K)> {
+        match self {
+            SimQueue::Heap(q) => q.pop(),
+            SimQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<u64> {
+        match self {
+            SimQueue::Heap(q) => q.peek_time(),
+            SimQueue::Calendar(q) => q.peek_time(),
+        }
     }
 }
 

@@ -45,15 +45,22 @@
 //! assert!(cmp.analytic_cycles > 0.0);
 //! ```
 
+pub mod calendar;
 pub mod dram;
 pub mod event;
+pub mod fleet;
 pub mod multi;
 pub mod pingpong;
 pub mod report;
 pub mod sim;
 pub mod tracks;
 
+pub use calendar::CalendarQueue;
 pub use dram::calibrate_dram_command_cycles;
+pub use event::QueueKind;
+pub use fleet::{
+    Fabric, FabricParams, FabricReport, FleetCompletion, FleetSim, FleetSimReport, NodeSim,
+};
 pub use multi::{Completion, InstanceActivity, MultiPipelineSim, MultiReport, Step};
 pub use report::{CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry};
 pub use sim::{CycleSim, PipelineJob, SimParams};

@@ -23,7 +23,7 @@
 //! two runs over the same submissions are bit-identical.
 
 use crate::dram::{DramChannel, DramRequest};
-use crate::event::EventQueue;
+use crate::event::SimQueue;
 use crate::pingpong::PingPongBuffer;
 use crate::report::{DramActivity, StageActivity};
 use crate::sim::{read_bytes, PipelineJob, SimParams, STAGES};
@@ -63,10 +63,27 @@ struct TileSlot {
     cycles: [u64; STAGES],
 }
 
+/// Tiles a drained prefix must reach before the stream storage is
+/// compacted (amortises the `drain` shift).
+const COMPACT_THRESHOLD: usize = 1024;
+
 /// Per-instance pipeline state: stream of tiles, buffer pool, stage status.
+///
+/// Tile indices are *stream positions* — monotonically increasing over the
+/// instance's lifetime and used as identifiers in events and ping-pong
+/// bookkeeping. Storage is compacted: tiles every stage has fully retired
+/// are dropped from the front of `tiles`/`read_done` and `base` records how
+/// many, so month-long serving streams hold only the in-flight window in
+/// memory (the fleet simulator feeds millions of requests through one
+/// instance). Compaction never changes timing — it only frees storage that
+/// can no longer be referenced.
 #[derive(Debug)]
 struct Instance {
+    /// Stream positions `base..base + tiles.len()`; index with
+    /// [`Instance::slot`].
     tiles: Vec<TileSlot>,
+    /// Stream position of `tiles[0]`.
+    base: usize,
     buffers: Vec<PingPongBuffer>,
     busy: [bool; STAGES],
     next_tile: [usize; STAGES],
@@ -81,6 +98,7 @@ impl Instance {
     fn new(buffer_depth: usize) -> Self {
         Instance {
             tiles: Vec::new(),
+            base: 0,
             buffers: (0..STAGES - 1)
                 .map(|_| PingPongBuffer::new(buffer_depth))
                 .collect(),
@@ -91,6 +109,44 @@ impl Instance {
             pred_issued: 0,
             acts: [StageActivity::default(); STAGES],
         }
+    }
+
+    /// Total tiles ever appended to the stream (accepted, in flight or
+    /// retired).
+    fn stream_len(&self) -> usize {
+        self.base + self.tiles.len()
+    }
+
+    /// The tile at stream position `tile` (must not be retired).
+    fn slot(&self, tile: usize) -> &TileSlot {
+        &self.tiles[tile - self.base]
+    }
+
+    fn read_done_at(&self, stage: usize, tile: usize) -> Option<u64> {
+        self.read_done[stage][tile - self.base]
+    }
+
+    fn set_read_done(&mut self, stage: usize, tile: usize, now: u64) {
+        let i = tile - self.base;
+        self.read_done[stage][i] = Some(now);
+    }
+
+    /// Drops retired tiles from the front of the stream storage. A tile is
+    /// retired once the formal stage's `StageDone` for it has been
+    /// processed: every later event referencing it (earlier-stage work,
+    /// operand fetches) has necessarily fired, and write-back `DramDone`s
+    /// never index the stream.
+    fn compact(&mut self) {
+        let retired = self.next_tile[STAGES - 1] - usize::from(self.busy[STAGES - 1]);
+        let drop = retired.saturating_sub(self.base);
+        if drop < COMPACT_THRESHOLD {
+            return;
+        }
+        self.tiles.drain(..drop);
+        for rd in self.read_done.iter_mut() {
+            rd.drain(..drop);
+        }
+        self.base += drop;
     }
 }
 
@@ -159,11 +215,15 @@ pub struct MultiReport {
 pub struct MultiPipelineSim {
     params: SimParams,
     instances: Vec<Instance>,
-    queue: EventQueue<MultiEvent>,
+    queue: SimQueue<MultiEvent>,
     dram: DramChannel,
     end_time: u64,
     requests_completed: Vec<usize>,
     obs: TraceRecorder,
+    /// Trace pid of instance 0 (instance `i` records at `pid_base + i`).
+    pid_base: u64,
+    /// Trace pid of the shared DRAM channel.
+    dram_pid: u64,
 }
 
 impl MultiPipelineSim {
@@ -181,7 +241,7 @@ impl MultiPipelineSim {
             instances: (0..instances)
                 .map(|_| Instance::new(params.buffer_depth))
                 .collect(),
-            queue: EventQueue::new(),
+            queue: SimQueue::new(params.queue_kind),
             dram: DramChannel::with_timing(
                 instances * STAGES,
                 bytes_per_cycle,
@@ -192,6 +252,8 @@ impl MultiPipelineSim {
             end_time: 0,
             requests_completed: vec![0; instances],
             obs: TraceRecorder::disabled(),
+            pid_base: 0,
+            dram_pid: PID_SHARED_DRAM,
         }
     }
 
@@ -201,11 +263,28 @@ impl MultiPipelineSim {
     /// [`PID_SHARED_DRAM`]), all in simulated cycles. Call before the first
     /// submission; collect with [`MultiPipelineSim::take_trace`].
     pub fn enable_tracing(&mut self) {
+        self.enable_tracing_with_pids(0, PID_SHARED_DRAM, "");
+    }
+
+    /// [`MultiPipelineSim::enable_tracing`] with an explicit track layout:
+    /// instance `i` records at pid `pid_base + i`, the shared channel at
+    /// `dram_pid`, and `label` prefixes the process names. The fleet
+    /// simulator gives each node a disjoint pid window
+    /// ([`crate::tracks::node_pid_base`]) so node traces merge without
+    /// collisions.
+    pub fn enable_tracing_with_pids(&mut self, pid_base: u64, dram_pid: u64, label: &str) {
+        self.pid_base = pid_base;
+        self.dram_pid = dram_pid;
         self.obs = TraceRecorder::enabled();
-        self.obs.process_name(PID_SHARED_DRAM, "dram-channel");
-        self.obs.thread_name(PID_SHARED_DRAM, 0, "dram.queue_depth");
+        self.obs
+            .process_name(dram_pid, &format!("{label}dram-channel"));
+        self.obs.thread_name(dram_pid, 0, "dram.queue_depth");
         for i in 0..self.instances.len() {
-            announce_pipeline(&mut self.obs, i as u64, &format!("inst{i}"));
+            announce_pipeline(
+                &mut self.obs,
+                pid_base + i as u64,
+                &format!("{label}inst{i}"),
+            );
         }
     }
 
@@ -220,7 +299,7 @@ impl MultiPipelineSim {
             return;
         }
         self.obs.counter(
-            PID_SHARED_DRAM,
+            self.dram_pid,
             0,
             "dram.queue_depth",
             now,
@@ -234,7 +313,7 @@ impl MultiPipelineSim {
             return;
         }
         self.obs.counter(
-            inst as u64,
+            self.pid_base + inst as u64,
             TID_BANK_BASE + b as u64,
             &bank_track(b),
             now,
@@ -253,7 +332,7 @@ impl MultiPipelineSim {
     /// Tiles instance `inst` has accepted but not yet pushed through the
     /// formal stage — the scheduler's backlog signal.
     pub fn pending_tiles(&self, inst: usize) -> usize {
-        self.instances[inst].tiles.len() - self.instances[inst].next_tile[STAGES - 1]
+        self.instances[inst].stream_len() - self.instances[inst].next_tile[STAGES - 1]
     }
 
     /// Appends `job`'s tiles to instance `inst`'s stream at time `now` on
@@ -269,7 +348,7 @@ impl MultiPipelineSim {
         let stage_was_drained: Vec<bool> = {
             let ins = &self.instances[inst];
             (0..STAGES)
-                .map(|s| !ins.busy[s] && ins.next_tile[s] == ins.tiles.len())
+                .map(|s| !ins.busy[s] && ins.next_tile[s] == ins.stream_len())
                 .collect()
         };
         let n = job.work.len();
@@ -326,7 +405,7 @@ impl MultiPipelineSim {
                 write,
             } => {
                 if !write {
-                    self.instances[instance].read_done[stage][tile] = Some(now);
+                    self.instances[instance].set_read_done(stage, tile, now);
                     self.try_start_all(instance, now);
                 }
                 None
@@ -384,7 +463,7 @@ impl MultiPipelineSim {
     /// ahead of its prediction stage.
     fn pump_prefetch(&mut self, inst: usize, now: u64) {
         let window = self.instances[inst].next_tile[0] + self.prefetch_depth();
-        while self.instances[inst].pred_issued < self.instances[inst].tiles.len().min(window) {
+        while self.instances[inst].pred_issued < self.instances[inst].stream_len().min(window) {
             let tile = self.instances[inst].pred_issued;
             self.instances[inst].pred_issued += 1;
             self.issue_read(inst, 0, tile, now);
@@ -392,9 +471,9 @@ impl MultiPipelineSim {
     }
 
     fn issue_read(&mut self, inst: usize, stage: usize, tile: usize, now: u64) {
-        let bytes = read_bytes(&self.instances[inst].tiles[tile].work, stage);
+        let bytes = read_bytes(&self.instances[inst].slot(tile).work, stage);
         if bytes == 0 {
-            self.instances[inst].read_done[stage][tile] = Some(now);
+            self.instances[inst].set_read_done(stage, tile, now);
             return;
         }
         self.dram.enqueue(
@@ -455,7 +534,7 @@ impl MultiPipelineSim {
             // Without RASS, the formal stage refetches shared vectors.
             2 => self.issue_read(inst, 3, tile, now),
             3 => {
-                let slot = self.instances[inst].tiles[tile];
+                let slot = *self.instances[inst].slot(tile);
                 if slot.work.write_bytes > 0 {
                     self.dram.enqueue(
                         DramRequest {
@@ -479,6 +558,9 @@ impl MultiPipelineSim {
             }
             _ => unreachable!(),
         }
+        if stage == STAGES - 1 {
+            self.instances[inst].compact();
+        }
         self.try_start_all(inst, now);
         completed
     }
@@ -495,7 +577,7 @@ impl MultiPipelineSim {
             return;
         }
         let tile = ins.next_tile[stage];
-        if tile >= ins.tiles.len() {
+        if tile >= ins.stream_len() {
             return;
         }
         // Input bank ready? (The prediction stage reads the raw key stream.)
@@ -508,7 +590,7 @@ impl MultiPipelineSim {
             }
         };
         // Operand data arrived from DRAM?
-        let read_at = match ins.read_done[stage][tile] {
+        let read_at = match ins.read_done_at(stage, tile) {
             Some(t) => t,
             None => return,
         };
@@ -539,8 +621,8 @@ impl MultiPipelineSim {
             }
         }
 
-        let dur = ins.tiles[tile].cycles[stage];
-        let request = ins.tiles[tile].request;
+        let dur = ins.slot(tile).cycles[stage];
+        let request = ins.slot(tile).request;
         let end = now + dur;
         ins.busy[stage] = true;
         ins.next_tile[stage] = tile + 1;
@@ -553,7 +635,7 @@ impl MultiPipelineSim {
         if self.obs.is_enabled() {
             if waited > 0 {
                 self.obs.complete(
-                    inst as u64,
+                    self.pid_base + inst as u64,
                     stage as u64,
                     stall_name,
                     idle_since,
@@ -562,7 +644,7 @@ impl MultiPipelineSim {
                 );
             }
             self.obs.complete(
-                inst as u64,
+                self.pid_base + inst as u64,
                 stage as u64,
                 &format!("req{request}:tile{tile}"),
                 now,

@@ -22,7 +22,7 @@
 //! per-stage DRAM stalls — the behaviour [`CycleSim::validate`] checks.
 
 use crate::dram::{DramChannel, DramRequest};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, QueueKind, SimQueue};
 use crate::pingpong::PingPongBuffer;
 use crate::report::{
     BufferActivity, CycleComparison, CycleReport, DramActivity, StageActivity, TimelineEntry,
@@ -59,6 +59,11 @@ pub struct SimParams {
     /// classic bandwidth-only channel; the hardware-aware DSE evaluator sets
     /// it so fine tilings pay for their extra requests.
     pub dram_command_cycles: u64,
+    /// Event-queue implementation the simulation schedules through. Both
+    /// kinds pop in the identical order (earliest first, FIFO ties), so
+    /// this is a pure performance knob: [`QueueKind::Heap`] (default) for
+    /// small runs, [`QueueKind::Calendar`] for fleet-scale event volumes.
+    pub queue_kind: QueueKind,
 }
 
 impl SimParams {
@@ -88,6 +93,7 @@ impl Default for SimParams {
             min_tile_cycles: 1,
             dram_age_threshold: u64::MAX,
             dram_command_cycles: 0,
+            queue_kind: QueueKind::Heap,
         }
     }
 }
@@ -329,7 +335,7 @@ struct Engine<'a> {
     work: &'a [TileWork],
     cycles: Vec<[u64; STAGES]>,
     n: usize,
-    queue: EventQueue,
+    queue: SimQueue<EventKind>,
     dram: DramChannel,
     buffers: Vec<PingPongBuffer>,
     busy: [bool; STAGES],
@@ -360,7 +366,7 @@ impl<'a> Engine<'a> {
             work,
             cycles,
             n,
-            queue: EventQueue::new(),
+            queue: SimQueue::new(sim.params.queue_kind),
             dram: DramChannel::with_timing(
                 STAGES,
                 bytes_per_cycle,

@@ -135,6 +135,20 @@ pub mod strategy {
     }
     int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+)),*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
     macro_rules! float_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -147,6 +161,29 @@ pub mod strategy {
         )*};
     }
     float_strategy!(f32, f64);
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Generates `true` and `false` with equal probability (mirrors
+    /// `proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
 }
 
 pub mod collection {
@@ -216,6 +253,7 @@ pub mod prelude {
 
     /// Mirrors `proptest::prelude::prop`.
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
     }
 }

@@ -16,7 +16,7 @@
 //! * [`serve`] — continuous-batching request scheduling over multi-instance
 //!   simulation.
 //! * [`baselines`] — GPU/TPU and SOTA-accelerator comparison baselines.
-//! * [`bench`] — the experiment harness regenerating the paper's figures.
+//! * [`mod@bench`] — the experiment harness regenerating the paper's figures.
 
 pub use sofa_baselines as baselines;
 pub use sofa_bench as bench;

@@ -81,6 +81,16 @@ fn serve_routed_json_is_byte_stable() {
 }
 
 #[test]
+fn serve_fleet_json_is_byte_stable() {
+    // The pinned fleet scaling grid (1/2/4 nodes, plus disaggregated) feeds
+    // CI regression gate 6 and the bench-smoke artifact; the fleet
+    // simulation is bit-identical at any SOFA_THREADS, so its table must
+    // never drift silently.
+    let table = sofa_bench::experiments::serve_fleet();
+    assert_matches_golden("serve_fleet.json", &table.to_json());
+}
+
+#[test]
 fn golden_snapshots_are_valid_single_line_json_objects() {
     // A sanity net over the snapshot files themselves (they are consumed by
     // artifact tooling, not only by this test): non-empty, one line, object-
@@ -94,6 +104,7 @@ fn golden_snapshots_are_valid_single_line_json_objects() {
         "serve_throughput_latency.json",
         "dse_pareto.json",
         "serve_routed.json",
+        "serve_fleet.json",
     ] {
         let text = std::fs::read_to_string(golden_path(name))
             .unwrap_or_else(|e| panic!("missing golden snapshot {name} ({e}); see module docs"));

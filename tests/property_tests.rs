@@ -265,6 +265,46 @@ proptest! {
         prop_assert_eq!(done[0].1.request, 0);
     }
 
+    // ---------------- event-queue differentials ----------------
+
+    #[test]
+    fn calendar_queue_pops_in_the_same_order_as_the_heap(
+        ops in prop::collection::vec(
+            // (time, payload, pop_after): interleave pushes with pops so the
+            // calendar's cursor moves forward before later (possibly *earlier*)
+            // pushes arrive — the regime where bucket pull-back must not
+            // reorder anything.
+            (0u64..5_000, 0u32..1_000, prop::bool::ANY),
+            1..200,
+        ),
+        width in 1u64..512,
+    ) {
+        use sofa_sim::event::EventQueue;
+        use sofa_sim::CalendarQueue;
+
+        let mut heap = EventQueue::<u32>::new();
+        let mut calendar = CalendarQueue::<u32>::with_width(width);
+        for &(time, payload, pop_after) in &ops {
+            heap.push(time, payload);
+            calendar.push(time, payload);
+            prop_assert_eq!(calendar.len(), heap.len());
+            prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+            if pop_after {
+                // Ties must break identically (insertion order via the
+                // internal sequence number), so compare payloads too.
+                prop_assert_eq!(calendar.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (c, h) = (calendar.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if h.is_none() {
+                break;
+            }
+        }
+        prop_assert!(calendar.is_empty());
+    }
+
     // ---------------- serving invariants ----------------
 
     #[test]
@@ -347,6 +387,45 @@ proptest! {
                 evaluator.evaluate_batch(&candidates)
             });
             prop_assert_eq!(&batch, &reference, "threads={}", threads);
+        }
+    }
+
+    // ---------------- fleet serving (sofa-serve::fleet) ----------------
+
+    #[test]
+    fn fleet_serving_is_bit_identical_across_thread_counts(
+        seed in 0u64..100,
+        nodes in 1usize..4,
+        disaggregate in prop::bool::ANY,
+    ) {
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{FleetConfig, FleetServeSim, OpRouter};
+
+        // Nodes step in parallel between synchronization epochs, so the
+        // whole fleet report — sketches, fabric stats, per-node cycle
+        // reports — must be a pure function of (config, trace) at any
+        // SOFA_THREADS.
+        let nodes = if disaggregate { nodes.max(2) } else { nodes };
+        let mut tc = TraceConfig::new(16, 120.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let mut cfg = FleetConfig::new(HwConfig::small(), nodes, 2);
+        cfg.epoch_cycles = 4096;
+        cfg.disaggregate = disaggregate;
+
+        let reference = sofa_par::with_threads(1, || {
+            FleetServeSim::new(cfg.clone()).run(&trace, OpRouter::TraceNative)
+        });
+        prop_assert_eq!(reference.served, 16);
+        for threads in [1usize, 2, 8] {
+            let got = sofa_par::with_threads(threads, || {
+                FleetServeSim::new(cfg.clone()).run(&trace, OpRouter::TraceNative)
+            });
+            prop_assert_eq!(&got, &reference, "threads={}", threads);
         }
     }
 
