@@ -30,7 +30,13 @@
 //!    counts disagree, or two runs of the pinned multi-node scenario
 //!    produce different tables (the fleet simulation must be deterministic
 //!    — it is what the golden `serve_fleet.json` snapshot and the CI
-//!    thread-matrix byte-identity check consume).
+//!    thread-matrix byte-identity check consume);
+//! 7. `adaptive` — closed-loop serving regresses: on the overload trace the
+//!    adaptive controller (decay + measured-state feedback + shed/retry)
+//!    must strictly beat static budgeted Pareto routing on (p95, shed
+//!    count) with J/req within 5 %, shed-after-retry must not exceed
+//!    static shedding, and two runs of the pinned study must agree (it is
+//!    what the golden `serve_adaptive.json` snapshot consumes).
 //!
 //! Exit codes distinguish *what* went wrong: `0` all gates passed, `1` a
 //! gate failed (a genuine regression), `2` an artifact was missing or
@@ -238,6 +244,69 @@ fn main() -> ExitCode {
             }
         }
         Err(_) => fail("routing", "serve_routed panicked".into(), &mut failures),
+    }
+
+    // Gate 7 — adaptive serving must strictly dominate static routing on
+    // the overload trace, deterministically. Reuses gate 3's DSE report
+    // (the search is deterministic, so this changes nothing).
+    match catch_unwind(|| match &dse_report {
+        Some(report) => (
+            experiments::serve_adaptive_study_from(report),
+            experiments::serve_adaptive_study_from(report),
+        ),
+        None => (
+            experiments::serve_adaptive_study(),
+            experiments::serve_adaptive_study(),
+        ),
+    }) {
+        Ok((first, second)) => {
+            if first != second {
+                fail(
+                    "adaptive",
+                    "serve_adaptive is non-deterministic across two runs".into(),
+                    &mut failures,
+                );
+            }
+            if first.adaptive.shed.len() > first.static_routed.shed.len() {
+                fail(
+                    "adaptive",
+                    format!(
+                        "retry sheds more than static routing ({} vs {})",
+                        first.adaptive.shed.len(),
+                        first.static_routed.shed.len(),
+                    ),
+                    &mut failures,
+                );
+            }
+            if !first.adaptive_dominates_static() {
+                fail(
+                    "adaptive",
+                    format!(
+                        "adaptive (p95 {}, shed {}, {:.2} uJ/req) does not strictly \
+                         dominate static routing (p95 {}, shed {}, {:.2} uJ/req)",
+                        first.adaptive.p95(),
+                        first.adaptive.shed.len(),
+                        first.adaptive.energy_pj_per_request() / 1e6,
+                        first.static_routed.p95(),
+                        first.static_routed.shed.len(),
+                        first.static_routed.energy_pj_per_request() / 1e6,
+                    ),
+                    &mut failures,
+                );
+            } else {
+                println!(
+                    "ok: serve_adaptive (p95 {} vs static {}, shed {} vs {}, \
+                     decayed {} retried {})",
+                    first.adaptive.p95(),
+                    first.static_routed.p95(),
+                    first.adaptive.shed.len(),
+                    first.static_routed.shed.len(),
+                    first.adaptive.decayed_requests(),
+                    first.adaptive.retried,
+                );
+            }
+        }
+        Err(_) => fail("adaptive", "serve_adaptive panicked".into(), &mut failures),
     }
 
     // Gate 6 — fleet serving consistency and determinism. (Runs before the

@@ -30,8 +30,8 @@ use sofa_model::trace::{RequestTrace, TraceConfig};
 use sofa_model::workload::{AttentionWorkload, ScoreWorkload};
 use sofa_model::{OperatingPoint, ScoreDistribution};
 use sofa_serve::{
-    FleetConfig, FleetReport, FleetServeSim, OpRouter, RoutedServeStudy, ServeConfig, ServeReport,
-    ServeSim,
+    AdaptiveServeConfig, AdaptiveServeStudy, FeedbackConfig, FleetConfig, FleetReport,
+    FleetServeSim, OpRouter, RetryPolicy, RoutedServeStudy, ServeConfig, ServeReport, ServeSim,
 };
 use sofa_sim::CycleSim;
 use sofa_tensor::seeded_rng;
@@ -1219,6 +1219,105 @@ pub fn serve_routed() -> Table {
     t
 }
 
+/// The overload trace of the adaptive study: the routed study's request
+/// shape at a hard-overload arrival rate, so static budgeted routing queues
+/// deeply and sheds — the regime the closed-loop controller exists for.
+fn serve_adaptive_trace() -> RequestTrace {
+    serve_trace(40, 400.0, 41)
+}
+
+/// The serving configuration of the adaptive study: the DSE-coupled config
+/// with a 32 KiB admission buffer, so the overload trace queues at the
+/// scheduler (where the controller can act on waiting requests) instead of
+/// admitting everything instantly and merely sharing DRAM.
+fn serve_adaptive_config() -> ServeConfig {
+    let mut cfg = dse_serve_config();
+    cfg.admit_buffer_bytes = 32 * 1024;
+    cfg
+}
+
+/// The pinned controller of the adaptive study (shared by the experiment,
+/// its golden snapshot and CI regression gate 7): decay at 300k cycles
+/// (one decode service time at the routed point), client retries shrinking
+/// keep 4× per attempt on a 300k-cycle backoff, feedback targeting a
+/// 500k-cycle completion latency with a queue bar of 4.
+pub fn serve_adaptive_controller() -> AdaptiveServeConfig {
+    AdaptiveServeConfig {
+        decay_threshold: 300_000,
+        retry: RetryPolicy {
+            backoff_cycles: 3_000_000,
+            max_retries: 2,
+            keep_factor: 0.1,
+        },
+        feedback: FeedbackConfig {
+            target_latency_cycles: 500_000,
+            alpha: 0.25,
+            queue_depth_bar: 4,
+            energy_bar_pj: None,
+        },
+        instance_energy_budget_pj: None,
+    }
+}
+
+/// The pinned adaptive-serving study shared by the `serve_adaptive`
+/// experiment, its golden snapshot and CI regression gate 7: the overload
+/// trace under static budgeted Pareto routing vs the closed-loop controller
+/// (decay + measured-state feedback + shed/retry). Deterministic and
+/// bit-identical at any `SOFA_THREADS`.
+pub fn serve_adaptive_study() -> AdaptiveServeStudy {
+    serve_adaptive_study_from(&dse_pareto_report())
+}
+
+/// [`serve_adaptive_study`] on an already-computed DSE report — the search
+/// is the dominant cost, so the CI regression gate reuses gate 3's report.
+pub fn serve_adaptive_study_from(report: &dse::DseReport) -> AdaptiveServeStudy {
+    ServeSim::new(serve_adaptive_config()).run_adaptive_study(
+        &serve_adaptive_trace(),
+        report,
+        &serve_adaptive_controller(),
+    )
+}
+
+const SERVE_ADAPTIVE_HEADERS: [&str; 13] = [
+    "config",
+    "operating point",
+    "p50 kcyc",
+    "p95 kcyc",
+    "p99 kcyc",
+    "makespan kcyc",
+    "req/Mcyc",
+    "uJ/req",
+    "total pJ",
+    "rerouted",
+    "shed",
+    "decayed",
+    "retried",
+];
+
+/// Experiment — closing the control loop: the same overload trace under
+/// static budgeted Pareto routing and under the adaptive controller (live
+/// decay of over-waited requests, measured-state feedback routing,
+/// client-side shed/retry). The adaptive row must strictly dominate the
+/// static row on (p95, shed) within 5% of its J/req — CI gate 7.
+pub fn serve_adaptive() -> Table {
+    let mut t = Table::new(
+        "Serve  Adaptive control loop: static Pareto routing vs measured-state routing",
+        &SERVE_ADAPTIVE_HEADERS,
+    );
+    let study = serve_adaptive_study();
+    let report = dse_pareto_report();
+    let decode_op = report.route(&sofa_model::trace::RequestClass::Decode);
+    let mut static_row = serve_row("static-routed", &decode_op, &study.static_routed);
+    static_row.push(study.static_routed.decayed_requests().to_string());
+    static_row.push(study.static_routed.retried_served().to_string());
+    t.add_row(static_row);
+    let mut adaptive_row = serve_row("adaptive", &decode_op, &study.adaptive);
+    adaptive_row.push(study.adaptive.decayed_requests().to_string());
+    adaptive_row.push(study.adaptive.retried_served().to_string());
+    t.add_row(adaptive_row);
+    t
+}
+
 // ---------------------------------------------------------------------------
 // Fleet-scale sharded serving (sofa-serve::fleet over sofa-sim::fleet)
 // ---------------------------------------------------------------------------
@@ -1605,6 +1704,46 @@ mod tests {
         for r in &study.budgeted.records {
             assert!(r.energy_pj <= study.budget_pj);
         }
+    }
+
+    #[test]
+    fn serve_adaptive_strictly_dominates_static_routing() {
+        // The acceptance bar of this PR (CI gate 7): on the overload trace
+        // the closed-loop controller must strictly beat static budgeted
+        // Pareto routing on (p95, shed) while staying within 5% of its
+        // J/req — and actually exercise every mechanism it ships.
+        let study = serve_adaptive_study();
+        assert!(
+            study.adaptive_dominates_static(),
+            "adaptive (p95 {}, shed {}, {:.2} uJ/req) must dominate static \
+             routing (p95 {}, shed {}, {:.2} uJ/req)",
+            study.adaptive.p95(),
+            study.adaptive.shed.len(),
+            study.adaptive.energy_pj_per_request() / 1e6,
+            study.static_routed.p95(),
+            study.static_routed.shed.len(),
+            study.static_routed.energy_pj_per_request() / 1e6,
+        );
+        assert!(study.adaptive.p95() < study.static_routed.p95());
+        assert!(
+            !study.static_routed.shed.is_empty(),
+            "the overload trace must shed under static routing"
+        );
+        assert_eq!(
+            study.adaptive.shed.len(),
+            0,
+            "every shed request retries back in"
+        );
+        assert!(study.adaptive.decayed_requests() > 0, "decay must engage");
+        assert!(study.adaptive.retried > 0, "retry must engage");
+        assert!(
+            study.adaptive.rerouted_requests() > study.static_routed.rerouted_requests(),
+            "feedback must re-route beyond the budget reroutes"
+        );
+        let t = serve_adaptive();
+        assert_eq!(t.rows.len(), 2, "static and adaptive rows");
+        assert_eq!(t.rows[0][0], "static-routed");
+        assert_eq!(t.rows[1][0], "adaptive");
     }
 
     #[test]

@@ -151,25 +151,80 @@ impl ParetoFront {
             .collect()
     }
 
+    /// The latency-lean total order: `(cycles, energy, candidate key)`.
+    ///
+    /// Energy is compared with [`f64::total_cmp`], not `to_bits()`: the bit
+    /// pattern of a negative float (including `-0.0`) has the sign bit set
+    /// and therefore sorts *above* every non-negative value, inverting the
+    /// order for any non-positive energy.
+    fn cmp_latency_lean(a: &CandidateEval, b: &CandidateEval) -> std::cmp::Ordering {
+        a.metrics
+            .cycles
+            .cmp(&b.metrics.cycles)
+            .then_with(|| a.metrics.energy_pj.total_cmp(&b.metrics.energy_pj))
+            .then_with(|| a.candidate.cmp_key(&b.candidate))
+    }
+
+    /// The energy-lean total order: `(energy, cycles, candidate key)`, with
+    /// energy under [`f64::total_cmp`] (see [`Self::cmp_latency_lean`]).
+    fn cmp_energy_lean(a: &CandidateEval, b: &CandidateEval) -> std::cmp::Ordering {
+        a.metrics
+            .energy_pj
+            .total_cmp(&b.metrics.energy_pj)
+            .then_with(|| a.metrics.cycles.cmp(&b.metrics.cycles))
+            .then_with(|| a.candidate.cmp_key(&b.candidate))
+    }
+
+    /// The class-appropriate minimum of `set`: latency-lean for decodes,
+    /// energy-lean for prefills.
+    fn lean_pick<'a>(set: &[&'a CandidateEval], class: &RequestClass) -> &'a CandidateEval {
+        let pick = match class {
+            RequestClass::Decode => set.iter().min_by(|a, b| Self::cmp_latency_lean(a, b)),
+            RequestClass::Prefill => set.iter().min_by(|a, b| Self::cmp_energy_lean(a, b)),
+        };
+        pick.expect("candidate set is non-empty")
+    }
+
     /// Routes a request class to its operating point (see the type docs for
     /// the rule). Total: every class maps to exactly one point.
     pub fn route(&self, class: &RequestClass) -> OperatingPoint {
-        let eligible = self.eligible();
-        let pick = match class {
-            RequestClass::Decode => eligible.iter().min_by(|a, b| {
-                (a.metrics.cycles, a.metrics.energy_pj.to_bits())
-                    .cmp(&(b.metrics.cycles, b.metrics.energy_pj.to_bits()))
-                    .then_with(|| a.candidate.cmp_key(&b.candidate))
-            }),
-            RequestClass::Prefill => eligible.iter().min_by(|a, b| {
-                (a.metrics.energy_pj.to_bits(), a.metrics.cycles)
-                    .cmp(&(b.metrics.energy_pj.to_bits(), b.metrics.cycles))
-                    .then_with(|| a.candidate.cmp_key(&b.candidate))
-            }),
-        };
-        pick.expect("eligible set is non-empty")
+        Self::lean_pick(&self.eligible(), class)
             .candidate
             .operating_point()
+    }
+
+    /// Routes a request class under measured overload `pressure` — the
+    /// feedback controller's eligibility-bar shift:
+    ///
+    /// * `0` — no pressure: the normal [`Self::route`] (loss and keep bars);
+    /// * `1` — the keep bar is dropped (loss bar only, with the min-loss
+    ///   fallback), so routing may take leaner-at-this-shape points it would
+    ///   normally reject for keep-robustness;
+    /// * `2+` — both bars are dropped: the class-leanest point on the whole
+    ///   front ([`Self::leanest_cycles`] for decodes,
+    ///   [`Self::leanest_energy`] for prefills), trading accuracy for
+    ///   survival under overload.
+    pub fn route_pressure(&self, class: &RequestClass, pressure: u8) -> OperatingPoint {
+        match pressure {
+            0 => self.route(class),
+            1 => {
+                let cleared: Vec<&CandidateEval> = self
+                    .points
+                    .iter()
+                    .filter(|e| e.metrics.loss <= self.reference.loss)
+                    .collect();
+                let set = if cleared.is_empty() {
+                    self.eligible()
+                } else {
+                    cleared
+                };
+                Self::lean_pick(&set, class).candidate.operating_point()
+            }
+            _ => match class {
+                RequestClass::Decode => self.leanest_cycles(),
+                RequestClass::Prefill => self.leanest_energy(),
+            },
+        }
     }
 
     /// The energy-leanest point on the whole front (no loss bar) — the
@@ -178,11 +233,18 @@ impl ParetoFront {
     pub fn leanest_energy(&self) -> OperatingPoint {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.metrics.energy_pj.to_bits(), a.metrics.cycles)
-                    .cmp(&(b.metrics.energy_pj.to_bits(), b.metrics.cycles))
-                    .then_with(|| a.candidate.cmp_key(&b.candidate))
-            })
+            .min_by(|a, b| Self::cmp_energy_lean(a, b))
+            .expect("front is non-empty")
+            .candidate
+            .operating_point()
+    }
+
+    /// The cycle-leanest point on the whole front (no loss bar) — the point
+    /// a decode waiting past its decay threshold is re-lowered to.
+    pub fn leanest_cycles(&self) -> OperatingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| Self::cmp_latency_lean(a, b))
             .expect("front is non-empty")
             .candidate
             .operating_point()
@@ -327,6 +389,89 @@ mod tests {
         assert_eq!(front.route(&RequestClass::Decode).tiles(), &[8, 8]);
         assert_eq!(front.route(&RequestClass::Prefill).tiles(), &[8, 8]);
         assert_eq!(front.layers(), 2);
+    }
+
+    #[test]
+    fn route_orders_non_positive_energies_by_value_not_bit_pattern() {
+        // Regression: energy used to be compared via `f64::to_bits()`, whose
+        // sign bit puts -0.0 (and every negative value) *above* all
+        // non-negative values. A -0.0-energy point must win the energy-lean
+        // pick against a denormal-energy point, and the denormal against
+        // 1.0.
+        let negative_zero = entry(0.1, 8, 0.10, 100, -0.0, 4.0);
+        let denormal = entry(0.2, 16, 0.10, 100, f64::MIN_POSITIVE / 2.0, 4.0);
+        let reference = entry(0.25, 16, 0.12, 200, 80.0, 5.0);
+        let front = ParetoFront::new(&[denormal.clone(), negative_zero.clone()], &reference);
+        assert_eq!(
+            front.route(&RequestClass::Prefill),
+            negative_zero.candidate.operating_point(),
+            "-0.0 pJ is the energy-lean point, not the largest"
+        );
+        // Equal cycles: the decode tie-break on energy must also order by
+        // value, so -0.0 beats the denormal there too.
+        assert_eq!(
+            front.route(&RequestClass::Decode),
+            negative_zero.candidate.operating_point(),
+        );
+        assert_eq!(
+            front.leanest_energy(),
+            negative_zero.candidate.operating_point(),
+            "leanest_energy must treat -0.0 as the minimum"
+        );
+    }
+
+    #[test]
+    fn leanest_energy_handles_negative_energies() {
+        // A (physically nonsensical but numerically possible) negative
+        // energy must sort below zero, not above everything.
+        let negative = entry(0.1, 8, 0.10, 100, -5.0, 4.0);
+        let positive = entry(0.2, 16, 0.10, 90, 5.0, 4.0);
+        let reference = entry(0.25, 16, 0.12, 200, 80.0, 5.0);
+        let front = ParetoFront::new(&[positive.clone(), negative.clone()], &reference);
+        assert_eq!(front.leanest_energy(), negative.candidate.operating_point());
+        assert_eq!(
+            front.leanest_cycles(),
+            positive.candidate.operating_point(),
+            "leanest_cycles orders on cycles first"
+        );
+    }
+
+    #[test]
+    fn pressure_shifts_the_eligibility_bar_monotonically() {
+        // keep-parity point (clears both bars), a heavier-keep point with
+        // better cycles (cleared only once the keep bar drops), and an
+        // off-loss-bar point that is leanest outright.
+        let keep_parity = entry(0.25, 16, 0.10, 120, 60.0, 5.0);
+        let heavy_fast = entry(0.4, 32, 0.11, 80, 50.0, 5.0);
+        let lossy_lean = entry(0.05, 8, 0.30, 40, 10.0, 3.0);
+        let reference = entry(0.25, 16, 0.12, 200, 80.0, 5.0);
+        let front = ParetoFront::new(
+            &[keep_parity.clone(), heavy_fast.clone(), lossy_lean.clone()],
+            &reference,
+        );
+        // Level 0 honours both bars.
+        assert_eq!(
+            front.route_pressure(&RequestClass::Decode, 0),
+            front.route(&RequestClass::Decode)
+        );
+        assert_eq!(
+            front.route_pressure(&RequestClass::Decode, 0),
+            keep_parity.candidate.operating_point()
+        );
+        // Level 1 drops the keep bar: the heavier-keep, faster point wins.
+        assert_eq!(
+            front.route_pressure(&RequestClass::Decode, 1),
+            heavy_fast.candidate.operating_point()
+        );
+        // Level 2 drops the loss bar too: the outright leanest point wins.
+        assert_eq!(
+            front.route_pressure(&RequestClass::Decode, 2),
+            lossy_lean.candidate.operating_point()
+        );
+        assert_eq!(
+            front.route_pressure(&RequestClass::Prefill, 2),
+            front.leanest_energy()
+        );
     }
 
     #[test]

@@ -41,7 +41,8 @@ use sofa_sim::tracks::{PID_FABRIC, PID_FLEET_ROUTER};
 use sofa_sim::{
     CycleSim, Fabric, FabricParams, FabricReport, FleetSim, MultiReport, PipelineJob, QueueKind,
 };
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -106,9 +107,13 @@ impl FleetConfig {
         self.nodes * self.serve.instances
     }
 
-    /// Number of nodes in the prefill pool (0 when not disaggregating).
+    /// Number of nodes in the prefill pool — 0 when not disaggregating,
+    /// and 0 for un-validatable configs (fewer than two nodes cannot be
+    /// split into two non-empty pools; [`FleetConfig::validate`] rejects
+    /// them, but this method must stay total for configs inspected before
+    /// validation, where `clamp(1, nodes - 1)` would panic or underflow).
     pub fn prefill_nodes(&self) -> usize {
-        if !self.disaggregate {
+        if !self.disaggregate || self.nodes < 2 {
             return 0;
         }
         let p = (self.nodes as f64 * self.prefill_node_fraction).round() as usize;
@@ -166,6 +171,10 @@ pub struct FleetReport {
     pub shed: u64,
     /// Served requests the energy budget re-routed to a leaner point.
     pub rerouted: u64,
+    /// Retry re-arrivals admitted back into the wait queue (shed requests
+    /// whose backoff-and-degrade resubmission fit the budget). Zero without
+    /// a retry policy.
+    pub retried: u64,
     /// Served prefills.
     pub prefills: u64,
     /// Served decodes.
@@ -266,6 +275,11 @@ impl FleetReport {
         reg.inc("fleet.requests.served", self.served);
         reg.inc("fleet.requests.shed", self.shed);
         reg.inc("fleet.requests.rerouted", self.rerouted);
+        // Only adaptive (retry-enabled) runs carry the counter, so existing
+        // metric snapshots stay byte-stable.
+        if self.retried > 0 {
+            reg.inc("fleet.requests.retried", self.retried);
+        }
         reg.inc("fleet.requests.prefill", self.prefills);
         reg.inc("fleet.requests.decode", self.decodes);
         reg.set_gauge("fleet.total_cycles", self.total_cycles as f64);
@@ -313,6 +327,12 @@ impl FleetReport {
             self.total_cycles,
             self.throughput_per_mcycle(),
         ));
+        if self.retried > 0 {
+            out.push_str(&format!(
+                "retried {} (served after client backoff)\n",
+                self.retried
+            ));
+        }
         if self.served > 0 {
             out.push_str(&format!(
                 "latency p50 {}  p95 {}  p99 {}  mean queueing {:.0} cyc\n",
@@ -350,8 +370,14 @@ struct RouterState {
     inflight_bytes: Vec<u64>,
     /// Admitted-but-incomplete requests per instance slot.
     inflight_reqs: Vec<usize>,
+    /// Booked (admitted-but-incomplete) energy per instance slot, for the
+    /// per-instance energy budget.
+    inflight_energy: Vec<f64>,
     /// Peak booked bytes per instance slot.
     peak: Vec<u64>,
+    /// Effective arrival cycle per request: the spec's arrival, or the
+    /// re-arrival time once a shed request's retry is admitted.
+    arrival: Vec<u64>,
     requests_per_node: Vec<u64>,
     latency: QuantileSketch,
     queueing: QuantileSketch,
@@ -466,24 +492,32 @@ impl FleetServeSim {
         }
     }
 
-    /// Position in `waiting` of the next request to try: the aged head if
-    /// it starved past the threshold, else the policy's pick over the first
-    /// [`FleetConfig::admit_window`] waiters.
+    /// Position in `waiting` of the next request to try: the oldest starved
+    /// request if one aged past the threshold, else the policy's pick over
+    /// the first [`FleetConfig::admit_window`] waiters. The oldest is found
+    /// by scanning the window's arrivals — pushes happen in arrival order
+    /// today (retry re-arrivals merge time-ordered at ingestion), but aging
+    /// must not silently starve if that invariant ever changes, and the
+    /// window bounds the scan cost on million-request backlogs.
     fn pick(
         &self,
         now: u64,
         waiting: &VecDeque<usize>,
-        trace: &RequestTrace,
+        arrival: &[u64],
         shapes: &[Shape],
         shape_of: &[usize],
     ) -> usize {
-        let oldest_wait = now.saturating_sub(trace.requests[waiting[0]].arrival_cycle);
+        let window = waiting.len().min(self.cfg.admit_window);
+        let oldest = (0..window)
+            .min_by_key(|&p| (arrival[waiting[p]], waiting[p]))
+            .expect("waiting is non-empty");
+        let oldest_wait = now.saturating_sub(arrival[waiting[oldest]]);
         if oldest_wait >= self.cfg.serve.aging_threshold {
-            return 0;
+            return oldest;
         }
         match self.cfg.serve.policy {
-            AdmitPolicy::Fifo => 0,
-            AdmitPolicy::SmallestFirst => (0..waiting.len().min(self.cfg.admit_window))
+            AdmitPolicy::Fifo => oldest,
+            AdmitPolicy::SmallestFirst => (0..window)
                 .min_by_key(|&p| (shapes[shape_of[waiting[p]]].footprint, waiting[p]))
                 .expect("waiting is non-empty"),
         }
@@ -491,27 +525,54 @@ impl FleetServeSim {
 
     /// Least-booked instance slot in `nodes` that fits `fp` more bytes (or
     /// is completely idle, so oversized requests always make progress).
-    fn place(&self, nodes: Range<usize>, fp: u64, state: &RouterState) -> Option<(usize, usize)> {
+    /// With [`ServeConfig::instance_energy_budget_pj`], slots without
+    /// energy headroom for `energy_pj` are skipped too, and booked-bytes
+    /// ties break toward the most energy headroom.
+    fn place(
+        &self,
+        nodes: Range<usize>,
+        fp: u64,
+        energy_pj: f64,
+        state: &RouterState,
+    ) -> Option<(usize, usize)> {
         let ipn = self.cfg.serve.instances;
         let budget = self.cfg.serve.budget_bytes();
-        nodes
-            .flat_map(|n| (0..ipn).map(move |i| (n, i)))
-            .filter(|&(n, i)| {
-                let slot = n * ipn + i;
-                state.inflight_reqs[slot] == 0 || state.inflight_bytes[slot] + fp <= budget
-            })
-            .min_by_key(|&(n, i)| (state.inflight_bytes[n * ipn + i], n, i))
+        let fits = |slot: usize| {
+            state.inflight_reqs[slot] == 0 || state.inflight_bytes[slot] + fp <= budget
+        };
+        match self.cfg.serve.instance_energy_budget_pj {
+            None => nodes
+                .flat_map(|n| (0..ipn).map(move |i| (n, i)))
+                .filter(|&(n, i)| fits(n * ipn + i))
+                .min_by_key(|&(n, i)| (state.inflight_bytes[n * ipn + i], n, i)),
+            Some(eb) => nodes
+                .flat_map(|n| (0..ipn).map(move |i| (n, i)))
+                .filter(|&(n, i)| {
+                    let slot = n * ipn + i;
+                    fits(slot)
+                        && (state.inflight_reqs[slot] == 0
+                            || state.inflight_energy[slot] + energy_pj <= eb)
+                })
+                .min_by(|&(an, ai), &(bn, bi)| {
+                    let a = an * ipn + ai;
+                    let b = bn * ipn + bi;
+                    state.inflight_bytes[a]
+                        .cmp(&state.inflight_bytes[b])
+                        .then_with(|| state.inflight_energy[a].total_cmp(&state.inflight_energy[b]))
+                        .then_with(|| a.cmp(&b))
+                }),
+        }
     }
 
     /// Admits as many waiting requests as fit, at boundary cycle `now`:
-    /// pick (aged head or windowed smallest-first), place (least-booked in
-    /// the class pool, spilling fleet-wide when the pool is full), book the
-    /// fabric transfer, and hand the job to the node at its delivery cycle.
+    /// pick (aged oldest or windowed smallest-first), place (least-booked
+    /// with energy headroom in the class pool, spilling fleet-wide when the
+    /// pool is full), book the fabric transfer, and hand the job to the
+    /// node at its delivery cycle.
     #[allow(clippy::too_many_arguments)]
     fn try_admit(
         &self,
         now: u64,
-        trace: &RequestTrace,
         shapes: &[Shape],
         shape_of: &[usize],
         state: &mut RouterState,
@@ -521,16 +582,18 @@ impl FleetServeSim {
     ) {
         let ipn = self.cfg.serve.instances;
         while !state.waiting.is_empty() {
-            let pos = self.pick(now, &state.waiting, trace, shapes, shape_of);
+            let pos = self.pick(now, &state.waiting, &state.arrival, shapes, shape_of);
             let req = state.waiting[pos];
             let shape = &shapes[shape_of[req]];
             let fp = shape.footprint;
-            let target = self.place(self.pool(shape.class), fp, state).or_else(|| {
-                self.cfg
-                    .disaggregate
-                    .then(|| self.place(0..self.cfg.nodes, fp, state))
-                    .flatten()
-            });
+            let target = self
+                .place(self.pool(shape.class), fp, shape.energy_pj, state)
+                .or_else(|| {
+                    self.cfg
+                        .disaggregate
+                        .then(|| self.place(0..self.cfg.nodes, fp, shape.energy_pj, state))
+                        .flatten()
+                });
             let Some((node, inst)) = target else {
                 // The candidate fits nowhere; the next boundary retries.
                 // Stopping (not skipping to a smaller request) keeps the
@@ -543,12 +606,11 @@ impl FleetServeSim {
             let slot = node * ipn + inst;
             state.inflight_bytes[slot] += fp;
             state.inflight_reqs[slot] += 1;
+            state.inflight_energy[slot] += shape.energy_pj;
             state.peak[slot] = state.peak[slot].max(state.inflight_bytes[slot]);
             state.requests_per_node[node] += 1;
             state.energy_pj += shape.energy_pj;
-            state
-                .queueing
-                .record(now - trace.requests[req].arrival_cycle);
+            state.queueing.record(now - state.arrival[req]);
             if obs.is_enabled() {
                 obs.counter(
                     PID_FABRIC,
@@ -570,7 +632,17 @@ impl FleetServeSim {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
         let s = &self.cfg.serve;
         let ipn = s.instances;
-        let (shapes, shape_of) = self.lower_shapes(trace, router);
+        let (mut shapes, mut shape_of) = self.lower_shapes(trace, router);
+        // Retry re-lowering happens serially, on demand, memoized per
+        // (original shape, attempt) — the retried shapes append to the same
+        // table and `shape_of` is repointed on a successful re-admission.
+        let mut retry_csim = CycleSim::new(s.hw);
+        retry_csim.params = s.sim;
+        let retry_lowerer = ServeSim::new(s.clone());
+        let mut retry_table: HashMap<(usize, u32), usize> = HashMap::new();
+        let mut attempts: HashMap<usize, u32> = HashMap::new();
+        // Shed requests awaiting their client backoff: (re-arrival, id).
+        let mut retryq: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
 
         let mut fleet = FleetSim::new(&s.hw, self.cfg.nodes, ipn, s.sim);
         let mut fabric = Fabric::new(self.cfg.fabric, self.cfg.nodes);
@@ -588,7 +660,9 @@ impl FleetServeSim {
             waiting: VecDeque::new(),
             inflight_bytes: vec![0; self.cfg.total_instances()],
             inflight_reqs: vec![0; self.cfg.total_instances()],
+            inflight_energy: vec![0.0; self.cfg.total_instances()],
             peak: vec![0; self.cfg.total_instances()],
+            arrival: trace.requests.iter().map(|r| r.arrival_cycle).collect(),
             requests_per_node: vec![0; self.cfg.nodes],
             latency: QuantileSketch::new(),
             queueing: QuantileSketch::new(),
@@ -597,6 +671,7 @@ impl FleetServeSim {
         };
         let mut shed = 0u64;
         let mut rerouted = 0u64;
+        let mut retried = 0u64;
         let mut prefills = 0u64;
         let mut decodes = 0u64;
         let mut next_arrival = 0usize;
@@ -606,12 +681,14 @@ impl FleetServeSim {
         loop {
             let fleet_next = fleet.next_activity();
             let arr_next = specs.get(next_arrival).map(|r| r.arrival_cycle);
-            let next = match (fleet_next, arr_next) {
-                (Some(a), Some(b)) => a.min(b),
-                (a, b) => match a.or(b) {
-                    Some(t) => t,
-                    None => break,
-                },
+            let retry_next = retryq.peek().map(|Reverse((t, _))| *t);
+            let next = match [fleet_next, arr_next, retry_next]
+                .into_iter()
+                .flatten()
+                .min()
+            {
+                Some(t) => t,
+                None => break,
             };
             // The first boundary strictly past the next pending activity —
             // idle stretches collapse into one epoch step.
@@ -621,28 +698,95 @@ impl FleetServeSim {
                 let slot = c.node * ipn + c.instance;
                 state.inflight_bytes[slot] -= shapes[shape_of[req]].footprint;
                 state.inflight_reqs[slot] -= 1;
-                state.latency.record(c.time - specs[req].arrival_cycle);
+                state.inflight_energy[slot] -= shapes[shape_of[req]].energy_pj;
+                state.latency.record(c.time - state.arrival[req]);
                 state.served += 1;
             }
-            while next_arrival < specs.len() && specs[next_arrival].arrival_cycle < boundary {
-                let shape = &shapes[shape_of[next_arrival]];
-                if shape.admit {
-                    state.waiting.push_back(next_arrival);
-                    if shape.rerouted {
+            // Ingest originals and retry re-arrivals below the boundary in
+            // time order (originals first on ties), so the wait queue stays
+            // arrival-ordered.
+            loop {
+                let arr = (next_arrival < specs.len())
+                    .then(|| specs[next_arrival].arrival_cycle)
+                    .filter(|&t| t < boundary);
+                let rtr = retryq
+                    .peek()
+                    .map(|Reverse((t, _))| *t)
+                    .filter(|&t| t < boundary);
+                let take_retry = match (arr, rtr) {
+                    (None, None) => break,
+                    (Some(a), Some(r)) => r < a,
+                    (None, Some(_)) => true,
+                    (Some(_), None) => false,
+                };
+                if take_retry {
+                    let Reverse((t, req)) = retryq.pop().expect("retry was pending");
+                    let policy = self.cfg.serve.retry.expect("retries require a policy");
+                    let attempt = attempts.get(&req).copied().unwrap_or(0) + 1;
+                    let key = (shape_of[req], attempt);
+                    let idx = *retry_table.entry(key).or_insert_with(|| {
+                        let (_, lowering) = retry_lowerer.retry_lowering(
+                            &retry_csim,
+                            &router,
+                            &specs[req],
+                            &policy,
+                            attempt,
+                        );
+                        let admit = !self
+                            .cfg
+                            .serve
+                            .energy_budget_pj_per_req
+                            .is_some_and(|b| lowering.energy_pj > b);
+                        shapes.push(Shape {
+                            job: Arc::new(lowering.job),
+                            footprint: lowering.footprint,
+                            energy_pj: lowering.energy_pj,
+                            rerouted: true,
+                            admit,
+                            class: specs[req].class,
+                        });
+                        shapes.len() - 1
+                    });
+                    if shapes[idx].admit {
+                        shape_of[req] = idx;
+                        state.arrival[req] = t;
+                        retried += 1;
                         rerouted += 1;
-                    }
-                    match shape.class {
-                        RequestClass::Prefill => prefills += 1,
-                        RequestClass::Decode => decodes += 1,
+                        match shapes[idx].class {
+                            RequestClass::Prefill => prefills += 1,
+                            RequestClass::Decode => decodes += 1,
+                        }
+                        state.waiting.push_back(req);
+                    } else if attempt < policy.max_retries {
+                        attempts.insert(req, attempt);
+                        retryq.push(Reverse((t + policy.backoff_cycles, req)));
+                    } else {
+                        shed += 1;
                     }
                 } else {
-                    shed += 1;
+                    let shape = &shapes[shape_of[next_arrival]];
+                    if shape.admit {
+                        state.waiting.push_back(next_arrival);
+                        if shape.rerouted {
+                            rerouted += 1;
+                        }
+                        match shape.class {
+                            RequestClass::Prefill => prefills += 1,
+                            RequestClass::Decode => decodes += 1,
+                        }
+                    } else if let Some(policy) = &self.cfg.serve.retry {
+                        retryq.push(Reverse((
+                            specs[next_arrival].arrival_cycle + policy.backoff_cycles,
+                            next_arrival,
+                        )));
+                    } else {
+                        shed += 1;
+                    }
+                    next_arrival += 1;
                 }
-                next_arrival += 1;
             }
             self.try_admit(
                 boundary,
-                trace,
                 &shapes,
                 &shape_of,
                 &mut state,
@@ -677,6 +821,7 @@ impl FleetServeSim {
             served: state.served,
             shed,
             rerouted,
+            retried,
             prefills,
             decodes,
             latency: state.latency,
@@ -802,5 +947,70 @@ mod tests {
             nodes: 0,
             ..small_cfg(1, 1)
         });
+    }
+
+    #[test]
+    fn prefill_nodes_is_total_on_unvalidatable_configs() {
+        // Regression: `clamp(1, nodes - 1)` panicked (min > max) for a
+        // single-node disaggregated config inspected before validate(), and
+        // underflowed at nodes == 0.
+        for nodes in [0, 1] {
+            let cfg = FleetConfig {
+                nodes,
+                disaggregate: true,
+                ..small_cfg(2, 1)
+            };
+            assert!(cfg.validate().is_err(), "{nodes} nodes must not validate");
+            assert_eq!(cfg.prefill_nodes(), 0);
+        }
+        // Valid configs still split into two non-empty pools.
+        let mut cfg = small_cfg(4, 1);
+        cfg.disaggregate = true;
+        assert_eq!(cfg.prefill_nodes(), 2);
+    }
+
+    #[test]
+    fn fleet_retry_readmits_shed_requests() {
+        let trace = small_trace(24, 150.0);
+        let mut cfg = small_cfg(2, 1);
+        // Between a decode's projection and a prefill's at this shape, so
+        // prefills shed on first submission.
+        cfg.serve.energy_budget_pj_per_req = Some(4.0e6);
+        let base = FleetServeSim::new(cfg.clone()).run(&trace, OpRouter::TraceNative);
+        assert!(base.shed > 0, "prefills must shed without retry");
+        assert_eq!(base.retried, 0);
+
+        cfg.serve.retry = Some(crate::RetryPolicy {
+            backoff_cycles: 20_000,
+            max_retries: 2,
+            keep_factor: 0.5,
+        });
+        let sim = FleetServeSim::new(cfg);
+        let adaptive = sim.run(&trace, OpRouter::TraceNative);
+        assert!(
+            adaptive.shed <= base.shed,
+            "retry cannot shed more: {} vs {}",
+            adaptive.shed,
+            base.shed
+        );
+        assert!(adaptive.retried > 0, "degraded resubmissions must land");
+        assert_eq!(adaptive.served + adaptive.shed, trace.len() as u64);
+        // Determinism with the retry path active.
+        let again = sim.run(&trace, OpRouter::TraceNative);
+        assert_eq!(adaptive, again);
+    }
+
+    #[test]
+    fn instance_energy_budget_spreads_load() {
+        let trace = small_trace(24, 300.0);
+        let mut cfg = small_cfg(2, 1);
+        // Roomy enough that everything is eventually served, tight enough
+        // that placement must account energy headroom.
+        cfg.serve.instance_energy_budget_pj = Some(5.0e7);
+        let sim = FleetServeSim::new(cfg.clone());
+        let report = sim.run(&trace, OpRouter::TraceNative);
+        assert_eq!(report.served, 24, "budgeted placement must still serve all");
+        assert!(report.requests_per_node.iter().all(|&r| r > 0));
+        assert_eq!(report, sim.run(&trace, OpRouter::TraceNative));
     }
 }

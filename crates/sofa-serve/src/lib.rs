@@ -52,5 +52,5 @@ pub mod scheduler;
 
 pub use fleet::{FleetConfig, FleetReport, FleetServeSim};
 pub use report::{RequestRecord, ServeReport, ShedRecord};
-pub use routing::{DseServeComparison, RoutedServeStudy};
-pub use scheduler::{AdmitPolicy, OpRouter, ServeConfig, ServeSim};
+pub use routing::{AdaptiveServeConfig, AdaptiveServeStudy, DseServeComparison, RoutedServeStudy};
+pub use scheduler::{AdmitPolicy, FeedbackConfig, OpRouter, RetryPolicy, ServeConfig, ServeSim};

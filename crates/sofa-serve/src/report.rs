@@ -24,9 +24,14 @@ pub struct RequestRecord {
     /// Projected energy of the request (all layers of its operating point)
     /// in picojoules, from the DSE energy model.
     pub energy_pj: f64,
-    /// Whether the energy budget re-routed the request to a leaner
-    /// operating point before admission.
+    /// Whether any mechanism (energy budget, decay, feedback, retry)
+    /// re-routed the request to a leaner operating point before admission.
     pub rerouted: bool,
+    /// Whether the decay threshold re-lowered the request while it waited.
+    pub decayed: bool,
+    /// Client re-submissions before this request was served (0 for
+    /// first-attempt admissions).
+    pub retries: u32,
 }
 
 /// A request the energy budget rejected: even the leanest available
@@ -37,10 +42,14 @@ pub struct ShedRecord {
     pub id: u64,
     /// Prefill or decode.
     pub class: RequestClass,
-    /// When the request arrived at the scheduler.
+    /// When the request first arrived at the scheduler (the original
+    /// submission, not the last retry).
     pub arrival: u64,
     /// The (over-budget) projected energy at the leanest point tried.
     pub energy_pj: f64,
+    /// Client re-submissions attempted before the request was shed for good
+    /// (0 when no retry policy is configured).
+    pub retries: u32,
 }
 
 impl RequestRecord {
@@ -80,6 +89,10 @@ pub struct ServeReport {
     pub peak_inflight_bytes: Vec<u64>,
     /// Projected energy admitted onto each instance in picojoules.
     pub energy_pj_per_instance: Vec<f64>,
+    /// Retry re-arrivals the scheduler admitted back into the wait queue
+    /// (shed requests whose backoff-and-degrade resubmission fit the
+    /// budget). Zero without a retry policy.
+    pub retried: u64,
     /// Streaming sketch of the end-to-end latencies, built once at report
     /// construction — percentile queries are a bucket walk, not a sort.
     pub latency: QuantileSketch,
@@ -172,6 +185,16 @@ impl ServeReport {
         self.records.iter().filter(|r| r.rerouted).count()
     }
 
+    /// Served requests the decay threshold re-lowered while they waited.
+    pub fn decayed_requests(&self) -> usize {
+        self.records.iter().filter(|r| r.decayed).count()
+    }
+
+    /// Served requests that went through at least one client retry.
+    pub fn retried_served(&self) -> usize {
+        self.records.iter().filter(|r| r.retries > 0).count()
+    }
+
     /// Adds the report's summary statistics to `reg` under the `serve.`
     /// prefix: request counters (total/admitted/shed/rerouted and per
     /// class), latency and queueing-delay histograms, scheduler-level
@@ -187,6 +210,14 @@ impl ServeReport {
         reg.inc("serve.requests.admitted", self.records.len() as u64);
         reg.inc("serve.requests.shed", self.shed.len() as u64);
         reg.inc("serve.requests.rerouted", self.rerouted_requests() as u64);
+        // Adaptive-controller counters appear only when the mechanisms are
+        // active, so non-adaptive runs keep their exact metrics snapshot.
+        if self.decayed_requests() > 0 {
+            reg.inc("serve.requests.decayed", self.decayed_requests() as u64);
+        }
+        if self.retried > 0 {
+            reg.inc("serve.requests.retried", self.retried);
+        }
         for r in &self.records {
             let class = match r.class {
                 RequestClass::Prefill => "serve.requests.prefill",
@@ -252,6 +283,14 @@ impl ServeReport {
             self.rerouted_requests(),
             self.shed.len(),
         ));
+        if self.decayed_requests() > 0 || self.retried > 0 {
+            out.push_str(&format!(
+                "adaptive: decayed {}  retried {} ({} served after retry)\n",
+                self.decayed_requests(),
+                self.retried,
+                self.retried_served(),
+            ));
+        }
         for (i, act) in self.multi.instances.iter().enumerate() {
             out.push_str(&format!(
                 "instance {i}: {} requests  util {:>5.1}%  peak buffer {}/{} B\n",
@@ -288,6 +327,8 @@ mod tests {
             footprint_bytes: 100,
             energy_pj: 500.0,
             rerouted: false,
+            decayed: false,
+            retries: 0,
         }
     }
 
@@ -320,6 +361,7 @@ mod tests {
             budget_bytes: 1000,
             peak_inflight_bytes: vec![300],
             energy_pj_per_instance: vec![500.0 * n as f64],
+            retried: 0,
             latency,
         }
     }

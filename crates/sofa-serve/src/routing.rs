@@ -17,10 +17,15 @@
 //!   tuned point on the same trace;
 //! * [`ServeSim::run_routed_study`] adds the routed deployment (and a
 //!   budgeted variant of it) to that comparison — the (p95, J/req) evidence
-//!   the regression gate checks.
+//!   the regression gate checks;
+//! * [`ServeSim::run_adaptive_study`] pits the closed-loop controller
+//!   (decay + measured-state feedback + shed/retry + instance energy
+//!   budgets, [`AdaptiveServeConfig`]) against static budgeted Pareto
+//!   routing on the same overload trace — the evidence behind the
+//!   `serve_adaptive` experiment and regression gate 7.
 
 use crate::report::ServeReport;
-use crate::scheduler::{OpRouter, ServeSim};
+use crate::scheduler::{FeedbackConfig, OpRouter, RetryPolicy, ServeSim};
 use sofa_dse::DseReport;
 use sofa_model::trace::{RequestClass, RequestTrace};
 use sofa_model::OperatingPoint;
@@ -92,6 +97,75 @@ impl RoutedServeStudy {
     }
 }
 
+/// The adaptive arm's controller knobs, bundled so the experiment, the
+/// regression gate and the golden snapshot agree on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveServeConfig {
+    /// Waiting cycles past which a queued request decays to a leaner point
+    /// ([`crate::ServeConfig::decay_threshold`]).
+    pub decay_threshold: u64,
+    /// Client backoff/degrade model for shed requests
+    /// ([`crate::ServeConfig::retry`]).
+    pub retry: RetryPolicy,
+    /// Measured-state feedback parameters ([`OpRouter::Feedback`]).
+    pub feedback: FeedbackConfig,
+    /// Optional per-instance in-flight energy ceiling
+    /// ([`crate::ServeConfig::instance_energy_budget_pj`]).
+    pub instance_energy_budget_pj: Option<f64>,
+}
+
+impl AdaptiveServeConfig {
+    /// A controller targeting `target_latency_cycles`: decay at half the
+    /// target, default client retries, default feedback bars, no instance
+    /// energy ceiling.
+    pub fn targeting(target_latency_cycles: u64) -> Self {
+        AdaptiveServeConfig {
+            decay_threshold: (target_latency_cycles / 2).max(1),
+            retry: RetryPolicy::default(),
+            feedback: FeedbackConfig::new(target_latency_cycles),
+            instance_energy_budget_pj: None,
+        }
+    }
+}
+
+/// The two arms of one [`ServeSim::run_adaptive_study`] call: the same
+/// overload trace under static budgeted Pareto routing and under the
+/// closed-loop adaptive controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveServeStudy {
+    /// Static per-class Pareto routing under [`AdaptiveServeStudy::budget_pj`]
+    /// — the strongest open-loop deployment (PR 5's budgeted routed serving).
+    pub static_routed: ServeReport,
+    /// The closed-loop controller on the identical trace, budget and front:
+    /// decay, measured-state feedback, shed/retry and instance energy
+    /// budgets all active.
+    pub adaptive: ServeReport,
+    /// The per-request energy ceiling both arms run under (¾ of the
+    /// measured paper-default J/req, as in [`RoutedServeStudy`]).
+    pub budget_pj: f64,
+    /// The controller configuration of the adaptive arm.
+    pub controller: AdaptiveServeConfig,
+}
+
+impl AdaptiveServeStudy {
+    /// Whether the adaptive arm strictly dominates static routing on
+    /// (p95 latency, shed count) while staying within 5% of its J/req —
+    /// the acceptance bar of regression gate 7.
+    pub fn adaptive_dominates_static(&self) -> bool {
+        self.adaptive.p95() < self.static_routed.p95()
+            && self.adaptive.shed.len() <= self.static_routed.shed.len()
+            && self.adaptive.energy_pj_per_request()
+                <= 1.05 * self.static_routed.energy_pj_per_request()
+    }
+
+    /// J/req of the adaptive arm relative to the static arm (< 1 means the
+    /// controller also saves energy).
+    pub fn energy_ratio(&self) -> f64 {
+        self.adaptive.energy_pj_per_request()
+            / self.static_routed.energy_pj_per_request().max(1e-12)
+    }
+}
+
 impl ServeSim {
     /// Serves `trace` with every request lowered at `op`; everything else
     /// (HW, instances, admission policy, energy budget) comes from this
@@ -151,6 +225,44 @@ impl ServeSim {
             decode_op: dse.route(&RequestClass::Decode),
             prefill_op: dse.route(&RequestClass::Prefill),
             budget_pj,
+        }
+    }
+
+    /// The closed-loop study: the same overload trace under static budgeted
+    /// Pareto routing and under the full adaptive controller, with the
+    /// per-request energy ceiling set (as in
+    /// [`ServeSim::run_routed_study`]) to ¾ of the measured paper-default
+    /// J/req. The static arm runs this scheduler's configuration plus the
+    /// budget; the adaptive arm additionally enables `controller`'s decay
+    /// threshold, retry policy and instance energy ceiling, and routes
+    /// through [`OpRouter::Feedback`]. Both arms are deterministic, so the
+    /// study is too.
+    pub fn run_adaptive_study(
+        &self,
+        trace: &RequestTrace,
+        dse: &DseReport,
+        controller: &AdaptiveServeConfig,
+    ) -> AdaptiveServeStudy {
+        let default_op = OperatingPoint::paper_default(dse.pareto.layers());
+        let paper_default = self.run_tuned(trace, &default_op);
+        let budget_pj = 0.75 * paper_default.energy_pj_per_request();
+
+        let mut static_cfg = self.config().clone();
+        static_cfg.energy_budget_pj_per_req = Some(budget_pj);
+        let static_routed = ServeSim::new(static_cfg.clone()).run_routed(trace, dse);
+
+        let mut adaptive_cfg = static_cfg;
+        adaptive_cfg.decay_threshold = Some(controller.decay_threshold);
+        adaptive_cfg.retry = Some(controller.retry);
+        adaptive_cfg.instance_energy_budget_pj = controller.instance_energy_budget_pj;
+        let adaptive = ServeSim::new(adaptive_cfg)
+            .run_with(trace, OpRouter::Feedback(&dse.pareto, &controller.feedback));
+
+        AdaptiveServeStudy {
+            static_routed,
+            adaptive,
+            budget_pj,
+            controller: controller.clone(),
         }
     }
 }
@@ -251,6 +363,34 @@ mod tests {
         assert!(
             a.routed.energy_pj_per_request()
                 <= a.paper_default.energy_pj_per_request() * (1.0 + 1e-9)
+        );
+    }
+
+    #[test]
+    fn adaptive_study_is_deterministic_and_accounts_for_every_request() {
+        let sim = ServeSim::new(ServeConfig::new(HwConfig::small(), 1));
+        // An overload burst on one instance, so decay/feedback/retry engage.
+        let mut tc = TraceConfig::new(24, 400.0, 17);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let t = RequestTrace::generate(&tc);
+        let dse = smoke_dse(17);
+        let ctl = AdaptiveServeConfig::targeting(200_000);
+        let a = sim.run_adaptive_study(&t, &dse, &ctl);
+        let b = sim.run_adaptive_study(&t, &dse, &ctl);
+        assert_eq!(a, b);
+        assert!(a.budget_pj > 0.0);
+        assert!(a.energy_ratio() > 0.0);
+        assert_eq!(
+            a.static_routed.records.len() + a.static_routed.shed.len(),
+            t.len()
+        );
+        assert_eq!(a.adaptive.records.len() + a.adaptive.shed.len(), t.len());
+        assert!(
+            a.adaptive.shed.len() <= a.static_routed.shed.len(),
+            "client retries cannot shed more than immediate shedding"
         );
     }
 }

@@ -35,8 +35,38 @@
 //! picked smallest-footprint-first (best packing) unless one has waited past
 //! [`ServeConfig::aging_threshold`], in which case the oldest starved
 //! request is served first.
+//!
+//! **Adaptive control loop.** Four opt-in mechanisms close the loop on
+//! *measured* state. Every adaptive decision happens inside the serial
+//! event loop (re-lowering there is a pure function of already-deterministic
+//! inputs), so the determinism contract — bit-identical reports and trace
+//! bytes at any `SOFA_THREADS` — is untouched:
+//!
+//! * **decay** ([`ServeConfig::decay_threshold`]) — a request waiting past
+//!   the threshold is re-lowered to a leaner operating point (decodes to
+//!   the front's cycle-leanest point, prefills to its energy-leanest)
+//!   instead of only being priority-aged, and the reroute is recorded on
+//!   the request ([`RequestRecord::decayed`]) and traced as an instant;
+//! * **feedback** ([`OpRouter::Feedback`]) — per-instance EWMAs of
+//!   completion latency and energy plus a wait-queue-depth EWMA map
+//!   measured overload to a pressure level
+//!   ([`FeedbackConfig`]), which shifts the routing eligibility bar along
+//!   the front ([`sofa_dse::ParetoFront::route_pressure`]) at admission
+//!   time;
+//! * **retry** ([`ServeConfig::retry`]) — a shed request re-arrives after a
+//!   deterministic client backoff at a leaner keep ratio (the client's
+//!   degrade-and-retry model) and is recorded as shed only once its
+//!   retries are exhausted; served retries are counted separately
+//!   ([`ServeReport::retried`]);
+//! * **per-instance energy budgets**
+//!   ([`ServeConfig::instance_energy_budget_pj`]) — placement filters and
+//!   orders candidate instances by in-flight energy headroom as well as
+//!   booked bytes, so load balance trades against thermal/energy headroom.
 
 use crate::report::{RequestRecord, ServeReport, ShedRecord};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use sofa_dse::ParetoFront;
 use sofa_hw::accel::AttentionTask;
 use sofa_hw::config::HwConfig;
@@ -74,6 +104,99 @@ pub enum AdmitPolicy {
     SmallestFirst,
 }
 
+/// Deterministic client retry model for shed requests
+/// ([`ServeConfig::retry`]).
+///
+/// A request the energy budget sheds is not dropped: the client re-submits
+/// it `backoff_cycles` later at a leaner keep ratio — each attempt shrinks
+/// the keep by `keep_factor` from the router's leanest point — until it fits
+/// the budget or `max_retries` attempts are exhausted, at which point it is
+/// finally recorded in [`ServeReport::shed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Cycles the client waits before re-submitting a shed request.
+    pub backoff_cycles: u64,
+    /// Attempts after the initial submission before the request is shed for
+    /// good.
+    pub max_retries: u32,
+    /// Keep-ratio shrink per attempt, in `(0, 1]`: attempt `n` re-lowers at
+    /// `leanest_keep × keep_factorⁿ`.
+    pub keep_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff_cycles: 50_000,
+            max_retries: 2,
+            keep_factor: 0.5,
+        }
+    }
+}
+
+/// Measured-state parameters of [`OpRouter::Feedback`].
+///
+/// The scheduler keeps an EWMA (`ewma ← α·sample + (1−α)·ewma`) of each
+/// instance's completion latency and per-request energy, and of the wait
+/// queue depth, sampled at every completion. The hottest instance's latency
+/// EWMA against `target_latency_cycles` and the queue EWMA against
+/// `queue_depth_bar` map to a discrete pressure level (0, 1 or 2) that
+/// shifts the routing eligibility bar along the Pareto front
+/// ([`sofa_dse::ParetoFront::route_pressure`]): level 1 drops the
+/// keep-parity bar, level 2 routes straight to the leanest points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackConfig {
+    /// Completion-latency target in cycles (the SLO the loop steers toward).
+    /// Latency EWMA past the target is pressure 1; past twice the target,
+    /// pressure 2.
+    pub target_latency_cycles: u64,
+    /// EWMA smoothing factor in `(0, 1]` — higher reacts faster.
+    pub alpha: f64,
+    /// Wait-queue depth whose EWMA alone raises pressure to 1 (2 at twice
+    /// the bar), so feedback engages even before slow completions land.
+    pub queue_depth_bar: usize,
+    /// Optional per-request energy EWMA bar: when the hottest instance's
+    /// admitted-energy EWMA exceeds it, pressure rises one level (energy
+    /// headroom recovers by routing leaner).
+    pub energy_bar_pj: Option<f64>,
+}
+
+impl FeedbackConfig {
+    /// A feedback loop targeting `target_latency_cycles` with the defaults:
+    /// `alpha = 0.25`, queue-depth bar 8, no energy bar.
+    pub fn new(target_latency_cycles: u64) -> Self {
+        FeedbackConfig {
+            target_latency_cycles,
+            alpha: 0.25,
+            queue_depth_bar: 8,
+            energy_bar_pj: None,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.target_latency_cycles == 0 {
+            return Err("feedback target latency must be positive".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("feedback alpha must be in (0, 1]".into());
+        }
+        if self.queue_depth_bar == 0 {
+            return Err("feedback queue depth bar must be positive".into());
+        }
+        if let Some(bar) = self.energy_bar_pj {
+            if bar <= 0.0 || bar.is_nan() {
+                return Err("feedback energy bar must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// How each request's operating point is chosen at admission time.
 #[derive(Debug, Clone, Copy)]
 pub enum OpRouter<'a> {
@@ -87,6 +210,13 @@ pub enum OpRouter<'a> {
     /// decodes, energy-lean points for prefills
     /// ([`ParetoFront::route`]).
     Pareto(&'a ParetoFront),
+    /// Pareto routing closed on measured state: requests pre-lower exactly
+    /// like [`OpRouter::Pareto`], but at admission time the scheduler's
+    /// pressure level (EWMAs of completion latency, queue depth and energy —
+    /// see [`FeedbackConfig`]) shifts the eligibility bar along the front
+    /// ([`sofa_dse::ParetoFront::route_pressure`]), re-lowering the picked
+    /// request to a leaner point when the measured tail drifts past target.
+    Feedback(&'a ParetoFront, &'a FeedbackConfig),
 }
 
 impl OpRouter<'_> {
@@ -95,17 +225,32 @@ impl OpRouter<'_> {
         match self {
             OpRouter::TraceNative => deployment.with_uniform_keep(spec.keep_ratio),
             OpRouter::Fixed(op) => (*op).clone(),
-            OpRouter::Pareto(front) => front.route(&spec.class),
+            OpRouter::Pareto(front) | OpRouter::Feedback(front, _) => front.route(&spec.class),
         }
     }
 
     /// The leaner point an over-budget request is re-routed to, when the
-    /// router has one (only Pareto routing does).
+    /// router has one (only front-backed routing does).
     fn leaner(&self) -> Option<OperatingPoint> {
         match self {
-            OpRouter::Pareto(front) => Some(front.leanest_energy()),
+            OpRouter::Pareto(front) | OpRouter::Feedback(front, _) => Some(front.leanest_energy()),
             _ => None,
         }
+    }
+
+    /// The point a decayed (over-waited) request re-lowers to: the front's
+    /// cycle-leanest point for decodes (drain the queue fast), its
+    /// energy-leanest for prefills (cheapest way through the backlog).
+    /// `None` for routers without a front — decay is a no-op there.
+    fn decay_target(&self, class: RequestClass) -> Option<OperatingPoint> {
+        let front = match self {
+            OpRouter::Pareto(front) | OpRouter::Feedback(front, _) => front,
+            _ => return None,
+        };
+        Some(match class {
+            RequestClass::Decode => front.leanest_cycles(),
+            RequestClass::Prefill => front.leanest_energy(),
+        })
     }
 }
 
@@ -143,6 +288,22 @@ pub struct ServeConfig {
     /// with a budget, over-budget requests are re-routed to the router's
     /// leanest point and shed if still over.
     pub energy_budget_pj_per_req: Option<f64>,
+    /// Waiting cycles beyond which a queued request *decays*: it is
+    /// re-lowered to the router's decay target (cycle-leanest for decodes,
+    /// energy-leanest for prefills) instead of only being priority-aged.
+    /// `None` (the default) disables decay; routers without a Pareto front
+    /// ignore it.
+    pub decay_threshold: Option<u64>,
+    /// Client retry model for shed requests. `None` (the default) sheds
+    /// immediately, exactly as before the adaptive controller existed.
+    pub retry: Option<RetryPolicy>,
+    /// Per-instance in-flight energy ceiling in picojoules. When set,
+    /// placement skips instances whose booked (admitted-but-uncompleted)
+    /// energy would exceed it — unless the instance is idle, so oversized
+    /// requests still make progress — and breaks booked-bytes ties toward
+    /// the most energy headroom. `None` (the default) keeps pure
+    /// least-booked placement.
+    pub instance_energy_budget_pj: Option<f64>,
 }
 
 impl ServeConfig {
@@ -166,6 +327,9 @@ impl ServeConfig {
             aging_threshold: 100_000,
             policy: AdmitPolicy::SmallestFirst,
             energy_budget_pj_per_req: None,
+            decay_threshold: None,
+            retry: None,
+            instance_energy_budget_pj: None,
         }
     }
 
@@ -194,6 +358,22 @@ impl ServeConfig {
                 return Err("energy budget must be positive".into());
             }
         }
+        if let Some(b) = self.instance_energy_budget_pj {
+            if b <= 0.0 || b.is_nan() {
+                return Err("instance energy budget must be positive".into());
+            }
+        }
+        if let Some(retry) = &self.retry {
+            if retry.backoff_cycles == 0 {
+                return Err("retry backoff must be positive".into());
+            }
+            if retry.max_retries == 0 {
+                return Err("retry max_retries must be positive".into());
+            }
+            if !(retry.keep_factor > 0.0 && retry.keep_factor <= 1.0) {
+                return Err("retry keep_factor must be in (0, 1]".into());
+            }
+        }
         Ok(())
     }
 }
@@ -202,17 +382,35 @@ impl ServeConfig {
 #[derive(Debug)]
 pub(crate) struct Lowered {
     pub(crate) class: RequestClass,
+    /// Effective arrival: the spec's arrival cycle, or the re-arrival time
+    /// once a shed request's retry is admitted (latency is measured from
+    /// the client's live submission).
     pub(crate) arrival: u64,
+    /// The original spec, kept so the adaptive controller can re-lower the
+    /// request at a different operating point mid-run.
+    pub(crate) spec: RequestSpec,
+    /// The operating point the current lowering used.
+    pub(crate) op: OperatingPoint,
     pub(crate) job: PipelineJob,
     /// Bytes admission control books for the request (the worst layer).
     pub(crate) footprint: u64,
     /// Projected energy of the whole request (all layers) in picojoules.
     pub(crate) energy_pj: f64,
-    /// Whether the energy budget re-routed this request to a leaner point.
+    /// Whether any mechanism (energy budget, decay, feedback, retry)
+    /// re-routed this request away from its first-pick point.
     pub(crate) rerouted: bool,
     /// `false` when the request exceeded the energy budget even at the
-    /// leanest point and was shed instead of admitted.
+    /// leanest point and was shed instead of admitted (a retry that fits
+    /// the budget flips it back to `true`).
     pub(crate) admit: bool,
+    /// Whether the decay threshold re-lowered this request while it waited.
+    pub(crate) decayed: bool,
+    /// Decay was evaluated (possibly rejected); guards repeated re-lowering.
+    pub(crate) decay_checked: bool,
+    /// Client re-submissions so far (0 for first-attempt requests).
+    pub(crate) retries: u32,
+    /// Pressure level of the lowering currently in `job` (feedback router).
+    pub(crate) level: u8,
 }
 
 /// The continuous-batching serving simulator.
@@ -301,7 +499,7 @@ impl ServeSim {
         spec: &RequestSpec,
         router: &OpRouter,
     ) -> Lowered {
-        let op = router.pick(&self.cfg.op, spec);
+        let mut op = router.pick(&self.cfg.op, spec);
         let mut lowering = self.lower_at(csim, spec, &op);
         let mut rerouted = false;
         let mut admit = true;
@@ -309,6 +507,7 @@ impl ServeSim {
             if lowering.energy_pj > budget {
                 if let Some(lean) = router.leaner().filter(|lean| *lean != op) {
                     lowering = self.lower_at(csim, spec, &lean);
+                    op = lean;
                     rerouted = true;
                 }
                 admit = lowering.energy_pj <= budget;
@@ -317,11 +516,17 @@ impl ServeSim {
         Lowered {
             class: spec.class,
             arrival: spec.arrival_cycle,
+            spec: *spec,
+            op,
             job: lowering.job,
             footprint: lowering.footprint,
             energy_pj: lowering.energy_pj,
             rerouted,
             admit,
+            decayed: false,
+            decay_checked: false,
+            retries: 0,
+            level: 0,
         }
     }
 
@@ -340,7 +545,8 @@ impl ServeSim {
     ///
     /// # Panics
     ///
-    /// Panics if `trace` is empty.
+    /// Panics if `trace` is empty or a [`OpRouter::Feedback`] configuration
+    /// fails [`FeedbackConfig::validate`].
     pub fn run_with(&self, trace: &RequestTrace, router: OpRouter) -> ServeReport {
         self.run_inner(trace, router, &mut TraceRecorder::disabled())
     }
@@ -376,6 +582,9 @@ impl ServeSim {
         obs: &mut TraceRecorder,
     ) -> ServeReport {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
+        if let OpRouter::Feedback(_, fb) = &router {
+            fb.validate().expect("invalid feedback config");
+        }
         let n = self.cfg.instances;
         if obs.is_enabled() {
             obs.process_name(PID_REQUESTS, "requests");
@@ -384,6 +593,9 @@ impl ServeSim {
             }
             obs.process_name(PID_SCHEDULER, "scheduler");
             obs.thread_name(PID_SCHEDULER, 0, "serve.wait_queue");
+            if matches!(router, OpRouter::Feedback(..)) {
+                obs.thread_name(PID_SCHEDULER, 1, "serve.pressure");
+            }
             for i in 0..n {
                 obs.thread_name(i as u64, TID_SERVE_INFLIGHT, "serve.inflight_bytes");
                 obs.thread_name(i as u64, TID_SERVE_ENERGY, "serve.energy_pj");
@@ -426,7 +638,10 @@ impl ServeSim {
                             &[("to", ArgValue::Str("energy-leanest"))],
                         );
                     }
-                    if !req.admit {
+                    // With a retry policy a first-attempt shed is not final:
+                    // the serial loop buffers shed-retry/retry/shed instants
+                    // and they are emitted post-run instead.
+                    if !req.admit && self.cfg.retry.is_none() {
                         rec.instant(
                             PID_REQUESTS,
                             tid,
@@ -451,42 +666,125 @@ impl ServeSim {
         let mut state = AdmissionState::new(n, lowered.len());
         let mut shed: Vec<ShedRecord> = Vec::new();
         let mut next_arrival = 0usize;
+        // Shed requests awaiting their client backoff: (re-arrival, id).
+        let mut retryq: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let ctx = RouteCtx {
+            csim: &csim,
+            router: &router,
+        };
 
         loop {
             let event = msim.next_event_time();
             let arrival = (next_arrival < lowered.len()).then(|| lowered[next_arrival].arrival);
-            // Completions at the same cycle free capacity before the
-            // admission decision, so events run first on ties.
-            let arrival_first = match (event, arrival) {
+            let retry = retryq.peek().map(|Reverse((t, _))| *t);
+            // Original arrivals run before retry re-arrivals on ties (the
+            // retried client re-submits just behind the fresh traffic), and
+            // completions at the same cycle free capacity before any
+            // admission decision, so simulation events run first overall.
+            let external = match (arrival, retry) {
+                (Some(a), Some(r)) if r < a => Some((r, true)),
+                (Some(a), _) => Some((a, false)),
+                (None, Some(r)) => Some((r, true)),
+                (None, None) => None,
+            };
+            let external_first = match (event, external) {
                 (None, None) => break,
-                (Some(e), Some(a)) => a < e,
+                (Some(e), Some((x, _))) => x < e,
                 (None, Some(_)) => true,
                 (Some(_), None) => false,
             };
-            if arrival_first {
-                let now = arrival.expect("arrival_first implies an arrival");
-                let req = &lowered[next_arrival];
-                if req.admit {
-                    state.waiting.push(next_arrival);
-                    if obs.is_enabled() {
-                        obs.counter(
-                            PID_SCHEDULER,
-                            0,
-                            "serve.wait_queue",
-                            now,
-                            &[("waiting", state.waiting.len() as f64)],
-                        );
+            if external_first {
+                let (now, is_retry) = external.expect("external_first implies an arrival");
+                if is_retry {
+                    let Reverse((_, req)) = retryq.pop().expect("retry was pending");
+                    let policy = self.cfg.retry.expect("retries require a policy");
+                    let attempt = lowered[req].retries + 1;
+                    let spec = lowered[req].spec;
+                    let (op, lowering) =
+                        self.retry_lowering(&csim, &router, &spec, &policy, attempt);
+                    lowered[req].retries = attempt;
+                    lowered[req].energy_pj = lowering.energy_pj;
+                    let over = self
+                        .cfg
+                        .energy_budget_pj_per_req
+                        .is_some_and(|b| lowering.energy_pj > b);
+                    if !over {
+                        let lw = &mut lowered[req];
+                        lw.job = lowering.job;
+                        lw.footprint = lowering.footprint;
+                        lw.op = op;
+                        lw.arrival = now;
+                        lw.rerouted = true;
+                        lw.admit = true;
+                        state.retried += 1;
+                        state.events.push(AdaptiveEvent {
+                            req,
+                            ts: now,
+                            kind: AdaptiveKind::Retry(attempt),
+                        });
+                        state.waiting.push(req);
+                        if obs.is_enabled() {
+                            obs.counter(
+                                PID_SCHEDULER,
+                                0,
+                                "serve.wait_queue",
+                                now,
+                                &[("waiting", state.waiting.len() as f64)],
+                            );
+                        }
+                    } else if attempt < policy.max_retries {
+                        state.events.push(AdaptiveEvent {
+                            req,
+                            ts: now,
+                            kind: AdaptiveKind::RetryShed(attempt),
+                        });
+                        retryq.push(Reverse((now + policy.backoff_cycles, req)));
+                    } else {
+                        state.events.push(AdaptiveEvent {
+                            req,
+                            ts: now,
+                            kind: AdaptiveKind::Shed(lowering.energy_pj),
+                        });
+                        shed.push(ShedRecord {
+                            id: req as u64,
+                            class: lowered[req].class,
+                            arrival: lowered[req].spec.arrival_cycle,
+                            energy_pj: lowering.energy_pj,
+                            retries: attempt,
+                        });
                     }
                 } else {
-                    shed.push(ShedRecord {
-                        id: next_arrival as u64,
-                        class: req.class,
-                        arrival: req.arrival,
-                        energy_pj: req.energy_pj,
-                    });
+                    let req = &lowered[next_arrival];
+                    if req.admit {
+                        state.waiting.push(next_arrival);
+                        if obs.is_enabled() {
+                            obs.counter(
+                                PID_SCHEDULER,
+                                0,
+                                "serve.wait_queue",
+                                now,
+                                &[("waiting", state.waiting.len() as f64)],
+                            );
+                        }
+                    } else if let Some(policy) = &self.cfg.retry {
+                        state.events.push(AdaptiveEvent {
+                            req: next_arrival,
+                            ts: now,
+                            kind: AdaptiveKind::RetryShed(0),
+                        });
+                        retryq.push(Reverse((now + policy.backoff_cycles, next_arrival)));
+                    } else {
+                        shed.push(ShedRecord {
+                            id: next_arrival as u64,
+                            class: req.class,
+                            arrival: req.arrival,
+                            energy_pj: req.energy_pj,
+                            retries: 0,
+                        });
+                    }
+                    next_arrival += 1;
                 }
-                next_arrival += 1;
-                self.try_admit(now, &lowered, &mut state, &mut msim, obs);
+                self.try_admit(now, &ctx, &mut lowered, &mut state, &mut msim, obs);
             } else {
                 let step = msim.step().expect("event was pending");
                 if let Some(done) = step.completed {
@@ -494,6 +792,25 @@ impl ServeSim {
                     state.completed_at[idx] = step.time;
                     state.inflight_bytes[done.instance] -= lowered[idx].footprint;
                     state.inflight_reqs[done.instance] -= 1;
+                    state.inflight_energy[done.instance] -= lowered[idx].energy_pj;
+                    if let OpRouter::Feedback(_, fb) = &router {
+                        let latency = (step.time - lowered[idx].arrival) as f64;
+                        state.observe_completion(
+                            fb,
+                            done.instance,
+                            latency,
+                            lowered[idx].energy_pj,
+                        );
+                        if obs.is_enabled() {
+                            obs.counter(
+                                PID_SCHEDULER,
+                                1,
+                                "serve.pressure",
+                                step.time,
+                                &[("level", state.pressure(fb) as f64)],
+                            );
+                        }
+                    }
                     if obs.is_enabled() {
                         obs.counter(
                             done.instance as u64,
@@ -503,7 +820,7 @@ impl ServeSim {
                             &[("bytes", state.inflight_bytes[done.instance] as f64)],
                         );
                     }
-                    self.try_admit(step.time, &lowered, &mut state, &mut msim, obs);
+                    self.try_admit(step.time, &ctx, &mut lowered, &mut state, &mut msim, obs);
                 }
             }
         }
@@ -511,13 +828,30 @@ impl ServeSim {
         if obs.is_enabled() {
             // Lifecycle spans are emitted once placement and completion are
             // known; walking the requests in id order keeps every per-request
-            // track's timestamps (lowered -> queued -> execute) sorted.
+            // track's timestamps (lowered -> queued -> execute) sorted. The
+            // adaptive instants buffered during the loop (decay, feedback,
+            // retry, late shed) interleave around the spans by timestamp, so
+            // each track stays monotone.
+            let mut per_req: Vec<Vec<(u64, AdaptiveKind)>> = vec![Vec::new(); lowered.len()];
+            for ev in &state.events {
+                per_req[ev.req].push((ev.ts, ev.kind));
+            }
             for (i, req) in lowered.iter().enumerate() {
+                let tid = i as u64;
+                let events = &per_req[i];
                 if !req.admit {
+                    for &(ts, kind) in events {
+                        adaptive_instant(obs, tid, ts, kind);
+                    }
                     continue;
                 }
-                let tid = i as u64;
                 let admitted = state.admitted_at[i];
+                // Retry instants precede the (effective) arrival; decay and
+                // feedback instants land between arrival and admission.
+                let split = events.partition_point(|&(ts, _)| ts <= req.arrival);
+                for &(ts, kind) in &events[..split] {
+                    adaptive_instant(obs, tid, ts, kind);
+                }
                 obs.complete(
                     PID_REQUESTS,
                     tid,
@@ -526,6 +860,9 @@ impl ServeSim {
                     admitted - req.arrival,
                     &[("class", ArgValue::Str(class_name(req.class)))],
                 );
+                for &(ts, kind) in &events[split..] {
+                    adaptive_instant(obs, tid, ts, kind);
+                }
                 obs.complete(
                     PID_REQUESTS,
                     tid,
@@ -556,6 +893,8 @@ impl ServeSim {
                     footprint_bytes: req.footprint,
                     energy_pj: req.energy_pj,
                     rerouted: req.rerouted,
+                    decayed: req.decayed,
+                    retries: req.retries,
                 }
             })
             .collect();
@@ -570,20 +909,172 @@ impl ServeSim {
             budget_bytes: self.cfg.budget_bytes(),
             peak_inflight_bytes: state.peak_inflight,
             energy_pj_per_instance: state.energy_pj,
+            retried: state.retried,
             latency,
+        }
+    }
+
+    /// The leaner lowering of retry `attempt`: the router's leanest point
+    /// (or the deployment point when the router has none) with its keep
+    /// ratio shrunk by `keep_factorᵃᵗᵗᵉᵐᵖᵗ`, floored at 1% keep.
+    pub(crate) fn retry_lowering(
+        &self,
+        csim: &CycleSim,
+        router: &OpRouter,
+        spec: &RequestSpec,
+        policy: &RetryPolicy,
+        attempt: u32,
+    ) -> (OperatingPoint, PointLowering) {
+        let base = router.leaner().unwrap_or_else(|| self.cfg.op.clone());
+        let keep = (base.mean_keep() * policy.keep_factor.powi(attempt as i32)).max(0.01);
+        let op = base.with_uniform_keep(keep);
+        let lowering = self.lower_at(csim, spec, &op);
+        (op, lowering)
+    }
+
+    /// Re-lowers every waiting request that has waited past the decay
+    /// threshold to the router's decay target, at most once per request.
+    /// With an energy budget, a decay that would break the budget is
+    /// rejected (the request keeps its current lowering).
+    fn decay_waiting(
+        &self,
+        now: u64,
+        ctx: &RouteCtx,
+        lowered: &mut [Lowered],
+        state: &mut AdmissionState,
+    ) {
+        let Some(threshold) = self.cfg.decay_threshold else {
+            return;
+        };
+        for pos in 0..state.waiting.len() {
+            let req = state.waiting[pos];
+            if lowered[req].decay_checked || now.saturating_sub(lowered[req].arrival) < threshold {
+                continue;
+            }
+            lowered[req].decay_checked = true;
+            let Some(target) = ctx.router.decay_target(lowered[req].class) else {
+                continue;
+            };
+            if target == lowered[req].op {
+                continue;
+            }
+            let lowering = self.lower_at(ctx.csim, &lowered[req].spec, &target);
+            if self
+                .cfg
+                .energy_budget_pj_per_req
+                .is_some_and(|b| lowering.energy_pj > b)
+            {
+                continue;
+            }
+            let lw = &mut lowered[req];
+            lw.job = lowering.job;
+            lw.footprint = lowering.footprint;
+            lw.energy_pj = lowering.energy_pj;
+            lw.op = target;
+            lw.decayed = true;
+            lw.rerouted = true;
+            state.events.push(AdaptiveEvent {
+                req,
+                ts: now,
+                kind: AdaptiveKind::Decay,
+            });
+        }
+    }
+
+    /// Re-lowers the picked request when the measured pressure level moved
+    /// since it was last lowered (feedback router only). Decayed requests
+    /// are already at the lean end and are left alone; with an energy
+    /// budget, a re-lowering that would break the budget is rejected.
+    fn feedback_relower(
+        &self,
+        now: u64,
+        ctx: &RouteCtx,
+        req: usize,
+        lowered: &mut [Lowered],
+        state: &mut AdmissionState,
+    ) {
+        let OpRouter::Feedback(front, fb) = ctx.router else {
+            return;
+        };
+        if lowered[req].decayed {
+            return;
+        }
+        let level = state.pressure(fb);
+        if level == lowered[req].level {
+            return;
+        }
+        let target = front.route_pressure(&lowered[req].class, level);
+        if target == lowered[req].op {
+            lowered[req].level = level;
+            return;
+        }
+        let lowering = self.lower_at(ctx.csim, &lowered[req].spec, &target);
+        lowered[req].level = level;
+        if self
+            .cfg
+            .energy_budget_pj_per_req
+            .is_some_and(|b| lowering.energy_pj > b)
+        {
+            return;
+        }
+        let lw = &mut lowered[req];
+        lw.job = lowering.job;
+        lw.footprint = lowering.footprint;
+        lw.energy_pj = lowering.energy_pj;
+        lw.op = target;
+        lw.rerouted = true;
+        state.events.push(AdaptiveEvent {
+            req,
+            ts: now,
+            kind: AdaptiveKind::Feedback(level),
+        });
+    }
+
+    /// The instance the next request lands on: among instances that fit the
+    /// byte budget (or are idle, so one oversized request always makes
+    /// progress), the least-booked one. With a per-instance energy budget,
+    /// instances without energy headroom are skipped too and booked-bytes
+    /// ties break toward the most energy headroom.
+    fn place(&self, fp: u64, energy_pj: f64, budget: u64, state: &AdmissionState) -> Option<usize> {
+        let fits = |i: usize| state.inflight_reqs[i] == 0 || state.inflight_bytes[i] + fp <= budget;
+        match self.cfg.instance_energy_budget_pj {
+            None => (0..state.inflight_bytes.len())
+                .filter(|&i| fits(i))
+                .min_by_key(|&i| (state.inflight_bytes[i], i)),
+            Some(eb) => (0..state.inflight_bytes.len())
+                .filter(|&i| {
+                    fits(i)
+                        && (state.inflight_reqs[i] == 0
+                            || state.inflight_energy[i] + energy_pj <= eb)
+                })
+                .min_by(|&a, &b| {
+                    state.inflight_bytes[a]
+                        .cmp(&state.inflight_bytes[b])
+                        .then_with(|| state.inflight_energy[a].total_cmp(&state.inflight_energy[b]))
+                        .then_with(|| a.cmp(&b))
+                }),
         }
     }
 
     /// Position in `waiting` of the next request to try: the oldest starved
     /// request if any has waited past the aging threshold, else the policy's
-    /// pick. `waiting` is kept in arrival order, so index 0 is the oldest.
+    /// pick. The oldest is found by scanning every entry's arrival — pushes
+    /// happen in arrival order today, but requeue paths (retry re-arrivals,
+    /// adaptive re-routes) must not be able to starve an aged request by
+    /// perturbing the head of the list.
     fn pick(&self, now: u64, waiting: &[usize], lowered: &[Lowered]) -> usize {
-        let oldest_wait = now.saturating_sub(lowered[waiting[0]].arrival);
+        let oldest = waiting
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &req)| (lowered[req].arrival, req))
+            .map(|(pos, _)| pos)
+            .expect("waiting is non-empty");
+        let oldest_wait = now.saturating_sub(lowered[waiting[oldest]].arrival);
         if oldest_wait >= self.cfg.aging_threshold {
-            return 0;
+            return oldest;
         }
         match self.cfg.policy {
-            AdmitPolicy::Fifo => 0,
+            AdmitPolicy::Fifo => oldest,
             AdmitPolicy::SmallestFirst => waiting
                 .iter()
                 .enumerate()
@@ -593,26 +1084,29 @@ impl ServeSim {
         }
     }
 
-    /// Admits as many waiting requests as fit. An instance fits a request
-    /// when the booked footprints stay within the (overbooked) budget — or
-    /// when it is completely idle, so a single oversized request can always
-    /// make progress. Placement is least-booked-first for load balance.
+    /// Admits as many waiting requests as fit. Decay re-lowers over-waited
+    /// requests first; the picked request is feedback-re-lowered against the
+    /// current pressure level; then [`ServeSim::place`] chooses the
+    /// instance. An instance fits a request when the booked footprints stay
+    /// within the (overbooked) budget — or when it is completely idle, so a
+    /// single oversized request can always make progress.
     fn try_admit(
         &self,
         now: u64,
-        lowered: &[Lowered],
+        ctx: &RouteCtx,
+        lowered: &mut [Lowered],
         state: &mut AdmissionState,
         msim: &mut MultiPipelineSim,
         obs: &mut TraceRecorder,
     ) {
+        self.decay_waiting(now, ctx, lowered, state);
         let budget = self.cfg.budget_bytes();
         while !state.waiting.is_empty() {
             let pos = self.pick(now, &state.waiting, lowered);
             let req = state.waiting[pos];
+            self.feedback_relower(now, ctx, req, lowered, state);
             let fp = lowered[req].footprint;
-            let target = (0..state.inflight_bytes.len())
-                .filter(|&i| state.inflight_reqs[i] == 0 || state.inflight_bytes[i] + fp <= budget)
-                .min_by_key(|&i| (state.inflight_bytes[i], i));
+            let target = self.place(fp, lowered[req].energy_pj, budget, state);
             let Some(inst) = target else {
                 // Nothing fits the candidate now; completions will retry.
                 // Stopping (rather than skipping to a smaller request) is
@@ -624,6 +1118,7 @@ impl ServeSim {
             msim.submit(inst, req as u64, &lowered[req].job, now);
             state.inflight_bytes[inst] += fp;
             state.inflight_reqs[inst] += 1;
+            state.inflight_energy[inst] += lowered[req].energy_pj;
             state.peak_inflight[inst] = state.peak_inflight[inst].max(state.inflight_bytes[inst]);
             state.energy_pj[inst] += lowered[req].energy_pj;
             state.placed_on[req] = inst;
@@ -656,10 +1151,84 @@ impl ServeSim {
 }
 
 /// One request lowered at one operating point (pre-budget).
-struct PointLowering {
-    job: PipelineJob,
-    footprint: u64,
-    energy_pj: f64,
+pub(crate) struct PointLowering {
+    pub(crate) job: PipelineJob,
+    pub(crate) footprint: u64,
+    pub(crate) energy_pj: f64,
+}
+
+/// Immutable routing context threaded through the serial event loop: the
+/// cycle simulator the adaptive controller re-lowers with, and the router.
+struct RouteCtx<'a, 'b> {
+    csim: &'a CycleSim,
+    router: &'a OpRouter<'b>,
+}
+
+/// One adaptive-controller action. Buffered during the serial loop and
+/// emitted as a trace instant after the run — mid-loop emission would break
+/// per-track timestamp monotonicity against the post-run lifecycle spans.
+#[derive(Debug, Clone, Copy)]
+enum AdaptiveKind {
+    /// The decay threshold re-lowered a waiting request to the lean end.
+    Decay,
+    /// Feedback pressure re-lowered the picked request at this level.
+    Feedback(u8),
+    /// An over-budget attempt went to the retry queue (attempt number; 0 is
+    /// the initial submission).
+    RetryShed(u32),
+    /// A retry re-arrival fit the budget and joined the wait queue.
+    Retry(u32),
+    /// Retries exhausted: finally shed, at this last-attempt energy.
+    Shed(f64),
+}
+
+/// [`AdaptiveKind`] tagged with the request and cycle it happened at.
+#[derive(Debug, Clone, Copy)]
+struct AdaptiveEvent {
+    req: usize,
+    ts: u64,
+    kind: AdaptiveKind,
+}
+
+/// Emits one buffered adaptive instant on a request's lifecycle track.
+fn adaptive_instant(obs: &mut TraceRecorder, tid: u64, ts: u64, kind: AdaptiveKind) {
+    match kind {
+        AdaptiveKind::Decay => obs.instant(
+            PID_REQUESTS,
+            tid,
+            "decay",
+            ts,
+            &[("to", ArgValue::Str("leanest"))],
+        ),
+        AdaptiveKind::Feedback(level) => obs.instant(
+            PID_REQUESTS,
+            tid,
+            "feedback",
+            ts,
+            &[("pressure", ArgValue::U64(level as u64))],
+        ),
+        AdaptiveKind::RetryShed(attempt) => obs.instant(
+            PID_REQUESTS,
+            tid,
+            "shed-retry",
+            ts,
+            &[("attempt", ArgValue::U64(attempt as u64))],
+        ),
+        AdaptiveKind::Retry(attempt) => obs.instant(
+            PID_REQUESTS,
+            tid,
+            "retry",
+            ts,
+            &[("attempt", ArgValue::U64(attempt as u64))],
+        ),
+        AdaptiveKind::Shed(energy_pj) => obs.instant(
+            PID_REQUESTS,
+            tid,
+            "shed",
+            ts,
+            &[("energy_pj", ArgValue::F64(energy_pj))],
+        ),
+    }
 }
 
 /// Mutable scheduling state of one [`ServeSim::run_with`]: the wait queue
@@ -671,11 +1240,24 @@ struct AdmissionState {
     waiting: Vec<usize>,
     inflight_bytes: Vec<u64>,
     inflight_reqs: Vec<usize>,
+    /// Booked (admitted-but-uncompleted) energy per instance, for the
+    /// per-instance energy budget and the feedback loop.
+    inflight_energy: Vec<f64>,
     peak_inflight: Vec<u64>,
     energy_pj: Vec<f64>,
     placed_on: Vec<usize>,
     admitted_at: Vec<u64>,
     completed_at: Vec<u64>,
+    /// Retry re-arrivals admitted back into the wait queue.
+    retried: u64,
+    /// Adaptive instants buffered for post-run trace emission.
+    events: Vec<AdaptiveEvent>,
+    /// Feedback EWMAs: per-instance completion latency and per-request
+    /// energy, plus the wait-queue depth, sampled at every completion.
+    ewma_latency: Vec<f64>,
+    ewma_energy: Vec<f64>,
+    ewma_queue: f64,
+    fb_samples: u64,
 }
 
 impl AdmissionState {
@@ -684,18 +1266,73 @@ impl AdmissionState {
             waiting: Vec::new(),
             inflight_bytes: vec![0; instances],
             inflight_reqs: vec![0; instances],
+            inflight_energy: vec![0.0; instances],
             peak_inflight: vec![0; instances],
             energy_pj: vec![0.0; instances],
             placed_on: vec![usize::MAX; requests],
             admitted_at: vec![u64::MAX; requests],
             completed_at: vec![u64::MAX; requests],
+            retried: 0,
+            events: Vec::new(),
+            ewma_latency: vec![0.0; instances],
+            ewma_energy: vec![0.0; instances],
+            ewma_queue: 0.0,
+            fb_samples: 0,
         }
+    }
+
+    /// Folds one completion into the feedback EWMAs (`ewma ← α·sample +
+    /// (1−α)·ewma`; the first sample of a series seeds it directly).
+    fn observe_completion(&mut self, fb: &FeedbackConfig, inst: usize, latency: f64, energy: f64) {
+        let mix = |prev: f64, x: f64| {
+            if prev == 0.0 {
+                x
+            } else {
+                fb.alpha * x + (1.0 - fb.alpha) * prev
+            }
+        };
+        self.ewma_latency[inst] = mix(self.ewma_latency[inst], latency);
+        self.ewma_energy[inst] = mix(self.ewma_energy[inst], energy);
+        let depth = self.waiting.len() as f64;
+        self.ewma_queue = if self.fb_samples == 0 {
+            depth
+        } else {
+            fb.alpha * depth + (1.0 - fb.alpha) * self.ewma_queue
+        };
+        self.fb_samples += 1;
+    }
+
+    /// The discrete pressure level measured state maps to — 0 calm, 1 over
+    /// target, 2 badly over — per [`FeedbackConfig`]. Zero until the first
+    /// completion lands (no measurement, no pressure).
+    fn pressure(&self, fb: &FeedbackConfig) -> u8 {
+        if self.fb_samples == 0 {
+            return 0;
+        }
+        let hottest = self.ewma_latency.iter().copied().fold(0.0f64, f64::max);
+        let target = fb.target_latency_cycles as f64;
+        let queue_bar = fb.queue_depth_bar as f64;
+        let mut level = 0u8;
+        if hottest > target || self.ewma_queue > queue_bar {
+            level = 1;
+        }
+        if hottest > 2.0 * target || self.ewma_queue > 2.0 * queue_bar {
+            level = 2;
+        }
+        if let Some(bar) = fb.energy_bar_pj {
+            let hottest_energy = self.ewma_energy.iter().copied().fold(0.0f64, f64::max);
+            if hottest_energy > bar {
+                level = (level + 1).min(2);
+            }
+        }
+        level
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sofa_dse::{CandidateEval, DseCandidate, MetricVector};
     use sofa_model::trace::TraceConfig;
 
     fn small_cfg(instances: usize) -> ServeConfig {
@@ -963,6 +1600,235 @@ mod tests {
             "only admitted requests get lifecycle spans"
         );
         assert_eq!(reg.counter("serve.requests.shed"), report.shed.len() as u64);
+    }
+
+    /// A three-point front with distinct routed / cycle-leanest /
+    /// energy-leanest picks, so decay and feedback visibly re-route:
+    /// normal decode routing takes `keep_parity` (the only point clearing
+    /// both bars), pressure 1 takes `heavy_fast`, pressure 2 and decay take
+    /// `lossy_lean`.
+    fn adaptive_front() -> ParetoFront {
+        let entry = |keep: f64, bc: usize, loss: f64, cycles: u64, energy: f64| CandidateEval {
+            candidate: DseCandidate {
+                keep_ratios: vec![keep, keep],
+                tile_sizes: vec![bc, bc],
+            },
+            metrics: MetricVector {
+                loss,
+                cycles,
+                energy_pj: energy,
+                area_mm2: 5.0,
+            },
+        };
+        let keep_parity = entry(0.25, 16, 0.10, 120, 6.0e7);
+        let heavy_fast = entry(0.4, 32, 0.11, 80, 9.0e7);
+        let lossy_lean = entry(0.05, 8, 0.30, 40, 2.0e7);
+        let reference = entry(0.25, 16, 0.12, 130, 7.0e7);
+        ParetoFront::new(&[keep_parity, heavy_fast, lossy_lean], &reference)
+    }
+
+    #[test]
+    fn aging_scans_for_the_true_oldest_not_just_the_head() {
+        // Regression: `pick` used to age only `waiting[0]`, so a requeue
+        // (retry re-arrival, adaptive re-route) that left a fresh request at
+        // the head let SmallestFirst starve the true oldest forever.
+        let mut cfg = small_cfg(1);
+        cfg.aging_threshold = 100_000;
+        let sim = ServeSim::new(cfg);
+        let mk = |arrival: u64, footprint: u64| Lowered {
+            class: RequestClass::Decode,
+            arrival,
+            spec: RequestSpec {
+                id: 0,
+                arrival_cycle: arrival,
+                class: RequestClass::Decode,
+                queries: 1,
+                seq_len: 64,
+                hidden: 64,
+                heads: 2,
+                keep_ratio: 0.25,
+            },
+            op: OperatingPoint::single(0.25, 64),
+            job: PipelineJob {
+                work: Vec::new(),
+                cycles: Vec::new(),
+            },
+            footprint,
+            energy_pj: 1.0,
+            rerouted: false,
+            admit: true,
+            decayed: false,
+            decay_checked: false,
+            retries: 0,
+            level: 0,
+        };
+        // Head of the waiting list: a fresh, small request SmallestFirst
+        // loves. Behind it: the true oldest, large enough to lose every
+        // footprint comparison.
+        let lowered = vec![mk(500_000, 8), mk(0, 1_000)];
+        let waiting = vec![0usize, 1];
+        assert_eq!(
+            sim.pick(550_000, &waiting, &lowered),
+            1,
+            "the starved request must be aged even when it is not the head"
+        );
+        // Below the threshold the policy pick still wins.
+        let fresh = vec![mk(40_000, 8), mk(0, 1_000)];
+        assert_eq!(sim.pick(50_000, &waiting, &fresh), 0);
+    }
+
+    #[test]
+    fn decay_relowers_overwaited_requests_to_leaner_points() {
+        let trace = small_trace(32, 400.0, 19);
+        let front = adaptive_front();
+        let mut cfg = small_cfg(1);
+        cfg.decay_threshold = Some(10_000);
+        let sim = ServeSim::new(cfg);
+        let decayed = sim.run_with(&trace, OpRouter::Pareto(&front));
+        assert_eq!(decayed.records.len(), trace.len(), "decay never sheds");
+        assert!(
+            decayed.decayed_requests() > 0,
+            "saturating one instance must push waits past the threshold"
+        );
+        for r in decayed.records.iter().filter(|r| r.decayed) {
+            assert!(r.rerouted, "a decayed request is by definition rerouted");
+        }
+        // Without a front, decay has no leaner point and is a no-op.
+        let mut plain_cfg = small_cfg(1);
+        plain_cfg.decay_threshold = Some(10_000);
+        let plain = ServeSim::new(plain_cfg).run(&trace);
+        assert_eq!(plain.decayed_requests(), 0);
+        // Deterministic.
+        assert_eq!(decayed, sim.run_with(&trace, OpRouter::Pareto(&front)));
+    }
+
+    #[test]
+    fn retry_readmits_shed_requests_at_leaner_points() {
+        // The per-request energy budget sheds every prefill at this shape
+        // (see `energy_budget_sheds_what_even_the_leanest_point_exceeds`);
+        // with a retry policy the client re-submits at a shrunken keep, which
+        // halves the projected energy under the budget.
+        let trace = small_trace(16, 80.0, 17);
+        let mut cfg = small_cfg(1);
+        cfg.energy_budget_pj_per_req = Some(2.0e7);
+        let base = ServeSim::new(cfg.clone()).run(&trace);
+        assert!(!base.shed.is_empty());
+        cfg.retry = Some(RetryPolicy {
+            backoff_cycles: 20_000,
+            max_retries: 2,
+            keep_factor: 0.5,
+        });
+        let sim = ServeSim::new(cfg);
+        let adaptive = sim.run(&trace);
+        assert!(
+            adaptive.retried > 0,
+            "shed prefills must re-enter after the client backoff"
+        );
+        assert!(
+            adaptive.shed.len() <= base.shed.len(),
+            "retry cannot shed more than immediate shedding: {} vs {}",
+            adaptive.shed.len(),
+            base.shed.len()
+        );
+        assert_eq!(adaptive.records.len() + adaptive.shed.len(), trace.len());
+        assert_eq!(adaptive.retried as usize, adaptive.retried_served());
+        for r in adaptive.records.iter().filter(|r| r.retries > 0) {
+            assert!(r.energy_pj <= 2.0e7, "a served retry fits the budget");
+            assert!(r.rerouted, "a retry re-lowers at a leaner keep");
+        }
+        for s in &adaptive.shed {
+            assert_eq!(s.retries, 2, "finally-shed requests exhaust retries");
+        }
+        // Deterministic.
+        assert_eq!(adaptive, sim.run(&trace));
+    }
+
+    #[test]
+    fn feedback_router_matches_pareto_at_zero_pressure() {
+        // With unreachable bars the pressure level never leaves 0, and the
+        // feedback router must be byte-for-byte the static Pareto router.
+        let trace = small_trace(24, 200.0, 19);
+        let front = adaptive_front();
+        let calm = FeedbackConfig {
+            target_latency_cycles: u64::MAX / 4,
+            alpha: 0.25,
+            queue_depth_bar: usize::MAX,
+            energy_bar_pj: None,
+        };
+        let sim = ServeSim::new(small_cfg(1));
+        let fb = sim.run_with(&trace, OpRouter::Feedback(&front, &calm));
+        let pareto = sim.run_with(&trace, OpRouter::Pareto(&front));
+        assert_eq!(fb, pareto);
+    }
+
+    #[test]
+    fn feedback_router_relowers_under_measured_pressure() {
+        // A 1-cycle latency target is blown by the very first completion, so
+        // every later admission re-routes to the front's leanest points.
+        let trace = small_trace(32, 300.0, 23);
+        let front = adaptive_front();
+        let hot = FeedbackConfig::new(1);
+        let sim = ServeSim::new(small_cfg(1));
+        let fb = sim.run_with(&trace, OpRouter::Feedback(&front, &hot));
+        assert_eq!(fb.records.len(), trace.len());
+        assert!(
+            fb.records.iter().any(|r| r.rerouted),
+            "measured pressure must re-route some admissions"
+        );
+        // Routing leaner under pressure cannot cost energy overall.
+        let pareto = sim.run_with(&trace, OpRouter::Pareto(&front));
+        let total = |r: &ServeReport| r.records.iter().map(|x| x.energy_pj).sum::<f64>();
+        assert!(total(&fb) <= total(&pareto));
+        // Deterministic.
+        assert_eq!(fb, sim.run_with(&trace, OpRouter::Feedback(&front, &hot)));
+    }
+
+    #[test]
+    fn instance_energy_budget_steers_placement_without_shedding() {
+        let trace = small_trace(24, 150.0, 19);
+        let mut cfg = small_cfg(2);
+        cfg.instance_energy_budget_pj = Some(5.0e7);
+        let sim = ServeSim::new(cfg);
+        let report = sim.run(&trace);
+        assert_eq!(
+            report.records.len(),
+            trace.len(),
+            "an instance budget delays admission, it never sheds"
+        );
+        assert!(
+            report.requests_on(0) > 0 && report.requests_on(1) > 0,
+            "energy headroom must spread load across both instances"
+        );
+        assert_eq!(report, sim.run(&trace));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve config")]
+    fn zero_retry_keep_factor_is_rejected() {
+        let mut cfg = small_cfg(1);
+        cfg.retry = Some(RetryPolicy {
+            keep_factor: 0.0,
+            ..RetryPolicy::default()
+        });
+        let _ = ServeSim::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve config")]
+    fn non_positive_instance_energy_budget_is_rejected() {
+        let mut cfg = small_cfg(1);
+        cfg.instance_energy_budget_pj = Some(0.0);
+        let _ = ServeSim::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid feedback config")]
+    fn zero_feedback_target_is_rejected() {
+        let front = adaptive_front();
+        let mut bad = FeedbackConfig::new(1);
+        bad.target_latency_cycles = 0;
+        let _ = ServeSim::new(small_cfg(1))
+            .run_with(&small_trace(2, 50.0, 1), OpRouter::Feedback(&front, &bad));
     }
 
     #[test]

@@ -91,6 +91,16 @@ fn serve_fleet_json_is_byte_stable() {
 }
 
 #[test]
+fn serve_adaptive_json_is_byte_stable() {
+    // The adaptive-serving study (static budgeted Pareto routing vs the
+    // closed-loop controller on the overload trace) feeds CI regression
+    // gate 7; its table is a pure function of the pinned DSE report, trace
+    // and controller configuration.
+    let table = sofa_bench::experiments::serve_adaptive();
+    assert_matches_golden("serve_adaptive.json", &table.to_json());
+}
+
+#[test]
 fn golden_snapshots_are_valid_single_line_json_objects() {
     // A sanity net over the snapshot files themselves (they are consumed by
     // artifact tooling, not only by this test): non-empty, one line, object-
@@ -105,6 +115,7 @@ fn golden_snapshots_are_valid_single_line_json_objects() {
         "dse_pareto.json",
         "serve_routed.json",
         "serve_fleet.json",
+        "serve_adaptive.json",
     ] {
         let text = std::fs::read_to_string(golden_path(name))
             .unwrap_or_else(|e| panic!("missing golden snapshot {name} ({e}); see module docs"));

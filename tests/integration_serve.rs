@@ -151,3 +151,62 @@ fn lone_request_latency_matches_single_pipeline_simulation() {
         solo.total_cycles
     );
 }
+
+/// With an energy budget and a client retry policy, shed requests re-arrive
+/// at shrunk keep ratios — the shared DRAM channel total must still equal
+/// the sum of per-request descriptor traffic of the lowerings *actually
+/// served*: first-attempt admissions at the trace-native keep, retried
+/// admissions at the deployment point's keep shrunk by `keep_factor` per
+/// attempt (floored at 1%), and finally-shed requests contributing nothing.
+#[test]
+fn retry_rearrivals_preserve_dram_byte_conservation() {
+    use sofa_serve::RetryPolicy;
+
+    let trace = trace(24, 300.0, 11);
+    let mut cfg = config(2);
+    cfg.energy_budget_pj_per_req = Some(4.0e7);
+    cfg.retry = Some(RetryPolicy {
+        backoff_cycles: 50_000,
+        max_retries: 2,
+        keep_factor: 0.5,
+    });
+    let report = ServeSim::new(cfg.clone()).run(&trace);
+    assert!(
+        report.retried > 0 && report.retried_served() > 0,
+        "budget must shed first attempts and retries must fit, or this \
+         check exercises nothing (retried {}, served after retry {})",
+        report.retried,
+        report.retried_served(),
+    );
+
+    let mut accel = SofaAccelerator::new(cfg.hw);
+    accel.include_kv_generation = false;
+    let tasks: Vec<AttentionTask> = report
+        .records
+        .iter()
+        .map(|r| {
+            let spec = trace
+                .requests
+                .iter()
+                .find(|s| s.id == r.id)
+                .expect("every record comes from the trace");
+            let op = if r.retries == 0 {
+                cfg.op.with_uniform_keep(spec.keep_ratio)
+            } else {
+                // Mirrors the scheduler's retry lowering (no Pareto router
+                // here, so the base point is the deployment point).
+                let keep = (cfg.op.mean_keep()
+                    * cfg.retry.unwrap().keep_factor.powi(r.retries as i32))
+                .max(0.01);
+                cfg.op.with_uniform_keep(keep)
+            };
+            AttentionTask::at_layer(spec.queries, spec.seq_len, spec.hidden, spec.heads, &op, 0)
+        })
+        .collect();
+    let per_request = accel.request_descriptors(&tasks, &[]);
+    let want: u64 = per_request
+        .iter()
+        .flat_map(|stream| stream.iter().map(|w| w.total_dram_bytes()))
+        .sum();
+    assert_eq!(report.multi.dram.total_bytes(), want);
+}

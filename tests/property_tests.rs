@@ -463,4 +463,42 @@ proptest! {
             prop_assert_eq!(&routed, &reference, "threads={}", threads);
         }
     }
+
+    #[test]
+    fn adaptive_serving_is_bit_identical_across_thread_counts(seed in 0u64..30) {
+        use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{AdaptiveServeConfig, ServeConfig, ServeSim};
+
+        // Every closed-loop decision — decay of over-waited requests,
+        // measured-state feedback routing, shed/retry re-arrivals,
+        // energy-budgeted placement — happens in the serial event loop, so
+        // both arms of the adaptive study must be a pure function of
+        // (config, trace, controller) at any SOFA_THREADS.
+        let mut tc = TraceConfig::new(8, 150.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let mut cfg = ServeConfig::new(HwConfig::small(), 2);
+        cfg.admit_buffer_bytes = 16 * 1024;
+        let sim = ServeSim::new(cfg);
+        let controller = AdaptiveServeConfig::targeting(150_000);
+
+        let reference = sofa_par::with_threads(1, || {
+            let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+            let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+            sim.run_adaptive_study(&trace, &dse, &controller)
+        });
+        for threads in [1usize, 2, 8] {
+            let study = sofa_par::with_threads(threads, || {
+                let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+                let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+                sim.run_adaptive_study(&trace, &dse, &controller)
+            });
+            prop_assert_eq!(&study, &reference, "threads={}", threads);
+        }
+    }
 }
