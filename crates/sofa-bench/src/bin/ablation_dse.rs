@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `ablation_dse` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `ablation_dse` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::ablation_dse().print();
+    sofa_bench::registry::run_bin("ablation_dse");
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `ablation_sufa_order` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `ablation_sufa_order` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::ablation_sufa_order().print();
+    sofa_bench::registry::run_bin("ablation_sufa_order");
 }

@@ -1,39 +1,24 @@
-//! Runs every experiment (the full evaluation section), fanning the
-//! independent experiments out across CPU cores (`sofa_par::par_map`,
-//! worker count from `SOFA_THREADS`) and printing the tables in their
-//! canonical order. The parallel-engine scaling study runs afterwards on
-//! the main thread: inside a parallel region `sofa-par` degrades to
-//! sequential execution, which would flatten its speedup column.
+//! Runs every registry experiment marked `in_all` (the full evaluation
+//! section), fanning the independent experiments out across CPU cores
+//! (`sofa_par::par_map`, worker count from `SOFA_THREADS`) and printing the
+//! tables in their canonical registry order. Entries marked `main_thread`
+//! (the parallel-engine scaling study) run afterwards on the main thread:
+//! inside a parallel region `sofa-par` degrades to sequential execution,
+//! which would flatten the speedup column.
 fn main() {
-    use sofa_bench::experiments as e;
-    use sofa_bench::Table;
-    let experiments: Vec<fn() -> Table> = vec![
-        e::fig01_breakdown,
-        e::fig03_mat,
-        e::fig04_oi,
-        e::fig05_fa2_overhead,
-        e::fig08_distribution,
-        e::fig16_latency_breakdown,
-        e::fig17_complexity_ablation,
-        e::fig18_lp_reduction,
-        e::fig19_throughput,
-        e::fig20_memory_energy,
-        e::fig21_gain_breakdown,
-        e::table1_summary,
-        e::table2_comparison,
-        e::table3_area_power,
-        e::table4_power,
-        e::ablation_dse,
-        e::ablation_sufa_order,
-        e::ablation_rass,
-        e::sim_cycle_vs_analytic,
-        e::sim_stall_breakdown,
-        e::dse_pareto,
-        e::dse_serve_ab,
-        e::serve_routed,
-    ];
-    for table in sofa_par::par_map(&experiments, |run| run()) {
-        table.print();
+    let reg = sofa_bench::registry::registry();
+    let (serial, fanout): (Vec<_>, Vec<_>) = reg
+        .into_iter()
+        .filter(|e| e.in_all)
+        .partition(|e| e.main_thread);
+    for out in sofa_par::par_map(&fanout, |e| (e.run)()) {
+        for table in &out.tables {
+            table.print();
+        }
     }
-    e::par_scaling().print();
+    for e in serial {
+        for table in (e.run)().tables {
+            table.print();
+        }
+    }
 }

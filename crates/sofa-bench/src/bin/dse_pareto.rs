@@ -1,12 +1,6 @@
 //! Prints the hardware-aware DSE Pareto front and the tuned-vs-default
 //! serving A/B study, and optionally writes them as a JSON artifact
 //! (`--json <path>`) for the CI bench-smoke job.
-
-use sofa_bench::report::print_and_write;
-
 fn main() {
-    print_and_write(&[
-        sofa_bench::experiments::dse_pareto(),
-        sofa_bench::experiments::dse_serve_ab(),
-    ]);
+    sofa_bench::registry::run_bin("dse_pareto");
 }

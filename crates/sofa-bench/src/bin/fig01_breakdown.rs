@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `fig01_breakdown` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `fig01_breakdown` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::fig01_breakdown().print();
+    sofa_bench::registry::run_bin("fig01_breakdown");
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `fig05_fa2_overhead` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `fig05_fa2_overhead` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::fig05_fa2_overhead().print();
+    sofa_bench::registry::run_bin("fig05_fa2_overhead");
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `fig19_throughput` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `fig19_throughput` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::fig19_throughput().print();
+    sofa_bench::registry::run_bin("fig19_throughput");
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `fig20_memory_energy` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `fig20_memory_energy` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::fig20_memory_energy().print();
+    sofa_bench::registry::run_bin("fig20_memory_energy");
 }

@@ -2,11 +2,8 @@
 //! static budgeted Pareto routing and under the closed-loop controller
 //! (decay of over-waited requests, measured-state feedback routing,
 //! client-side shed/retry) — and optionally writes it as a JSON artifact
-//! (`--json <path>`), which the CI bench-smoke job uploads per PR and
-//! regression gate 7 re-checks.
-
-use sofa_bench::report::print_and_write;
-
+//! (`--json <path>`), which the CI bench-smoke job uploads per PR and the
+//! `adaptive` gate spec re-checks.
 fn main() {
-    print_and_write(&[sofa_bench::experiments::serve_adaptive()]);
+    sofa_bench::registry::run_bin("serve_adaptive");
 }

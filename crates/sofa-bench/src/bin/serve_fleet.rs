@@ -41,15 +41,14 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let table = match requests {
-        Some(n) => sofa_bench::experiments::serve_fleet_scaled(
+    match requests {
+        Some(n) => print_and_write(&[sofa_bench::experiments::serve_fleet_scaled(
             n,
             rate,
             nodes,
             instances_per_node,
             disaggregate,
-        ),
-        None => sofa_bench::experiments::serve_fleet(),
-    };
-    print_and_write(&[table]);
+        )]),
+        None => sofa_bench::registry::run_bin("serve_fleet"),
+    }
 }

@@ -2,10 +2,7 @@
 //! trace served at the paper-default operating point, the single DSE-tuned
 //! point, per-request Pareto routing, and budget-constrained routing — and
 //! optionally writes it as a JSON artifact (`--json <path>`), which the CI
-//! bench-smoke job uploads per PR and regression gate 4 re-checks.
-
-use sofa_bench::report::print_and_write;
-
+//! bench-smoke job uploads per PR and the `routing` gate spec re-checks.
 fn main() {
-    print_and_write(&[sofa_bench::experiments::serve_routed()]);
+    sofa_bench::registry::run_bin("serve_routed");
 }

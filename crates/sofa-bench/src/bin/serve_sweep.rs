@@ -1,15 +1,10 @@
 //! Prints the serving experiments — continuous-batching latency percentiles
 //! and multi-instance strong scaling — and optionally writes them as a JSON
 //! artifact (`--json <path>`), which the CI bench-smoke job uploads per PR.
-//! The experiments are called sequentially on purpose: each one fans its
-//! own (instances, load) grid out across the cores internally, which beats
-//! pitting the two whole studies against each other on a shared pool.
-
-use sofa_bench::report::print_and_write;
-
+//! The registry entry runs the two studies sequentially on purpose: each one
+//! fans its own (instances, load) grid out across the cores internally,
+//! which beats pitting the two whole studies against each other on a shared
+//! pool.
 fn main() {
-    print_and_write(&[
-        sofa_bench::experiments::serve_throughput_latency(),
-        sofa_bench::experiments::serve_scaling(),
-    ]);
+    sofa_bench::registry::run_bin("serve_sweep");
 }

@@ -4,28 +4,28 @@
 //! trace-event JSON — open it in Perfetto (<https://ui.perfetto.dev>) or
 //! `chrome://tracing` — and `--metrics <path>` the metrics-registry
 //! snapshot. Prints the serving summary. The output is byte-identical at
-//! any `SOFA_THREADS`; CI's bench-smoke step uploads the trace and
-//! regression gate 5 validates it.
+//! any `SOFA_THREADS`; CI's bench-smoke step uploads the trace and the
+//! `trace` gate spec validates it.
 
 use sofa_bench::report::write_text_artifact;
 
 fn main() {
-    let (report, obs, metrics) = sofa_bench::experiments::serve_trace_observed();
-    print!("{}", report.summary());
-    println!("trace: {} events", obs.len());
+    let entry = sofa_bench::registry::find("serve_trace").expect("serve_trace is registered");
+    let out = (entry.run)();
+    print!("{}", out.texts["summary"]);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trace" => {
                 let path =
                     std::path::PathBuf::from(args.next().expect("--trace requires an output path"));
-                write_text_artifact(&path, &obs.to_chrome_json());
+                write_text_artifact(&path, &out.texts["trace"]);
             }
             "--metrics" => {
                 let path = std::path::PathBuf::from(
                     args.next().expect("--metrics requires an output path"),
                 );
-                write_text_artifact(&path, &format!("{}\n", metrics.to_json()));
+                write_text_artifact(&path, &out.texts["metrics"]);
             }
             other => panic!("unknown argument {other:?} (expected --trace / --metrics)"),
         }

@@ -2,12 +2,6 @@
 //! busy/stall breakdown of the event-driven simulator (`sofa-sim`), and
 //! optionally writes them as a JSON artifact (`--json <path>`) for the CI
 //! bench-smoke job.
-
-use sofa_bench::report::print_and_write;
-
 fn main() {
-    print_and_write(&[
-        sofa_bench::experiments::sim_cycle_vs_analytic(),
-        sofa_bench::experiments::sim_stall_breakdown(),
-    ]);
+    sofa_bench::registry::run_bin("sim_cycle_vs_analytic");
 }

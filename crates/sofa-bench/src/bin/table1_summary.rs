@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `table1_summary` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `table1_summary` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::table1_summary().print();
+    sofa_bench::registry::run_bin("table1_summary");
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper artefact `table4_power` (see docs/EXPERIMENTS.md for the mapping).
+//! Regenerates the paper artefact `table4_power` (see docs/EXPERIMENTS.md for the
+//! mapping; `--json <path>` writes the table as a JSON artifact).
 fn main() {
-    sofa_bench::experiments::table4_power().print();
+    sofa_bench::registry::run_bin("table4_power");
 }

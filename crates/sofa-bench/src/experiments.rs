@@ -1049,6 +1049,14 @@ pub fn dse_pareto_report_fresh() -> dse::DseReport {
 /// configuration, with the balanced-scalarization pick marked `tuned` and
 /// the per-class routes marked `route:*`.
 pub fn dse_pareto() -> Table {
+    dse_pareto_from(&dse_pareto_report())
+}
+
+/// [`dse_pareto`] on an already-computed DSE report — the search is the
+/// dominant cost, so callers that have one (the spec harness, which shares
+/// one report across the table and its gate metrics) should not pay for it
+/// again.
+pub fn dse_pareto_from(r: &dse::DseReport) -> Table {
     let mut t = Table::new(
         "DSE  Hardware-aware Pareto front (loss / cycles / energy / area)",
         &[
@@ -1063,7 +1071,6 @@ pub fn dse_pareto() -> Table {
             "vs default",
         ],
     );
-    let r = dse_pareto_report();
     let dominating: Vec<&dse::CandidateEval> = r.dominating();
     let decode_op = r.route(&sofa_model::trace::RequestClass::Decode);
     let prefill_op = r.route(&sofa_model::trace::RequestClass::Prefill);
@@ -1160,13 +1167,18 @@ const SERVE_OP_HEADERS: [&str; 11] = [
 /// at the paper-default operating point and at the tuned point the
 /// hardware-aware search recommends, side by side.
 pub fn dse_serve_ab() -> Table {
+    dse_serve_ab_from(&dse_pareto_report())
+}
+
+/// [`dse_serve_ab`] on an already-computed DSE report (same rationale as
+/// [`dse_pareto_from`]).
+pub fn dse_serve_ab_from(report: &dse::DseReport) -> Table {
     let mut t = Table::new(
         "DSE  Serving A/B: paper-default vs DSE-tuned operating point",
         &SERVE_OP_HEADERS,
     );
-    let report = dse_pareto_report();
     let trace = serve_trace(32, 150.0, 29);
-    let cmp = ServeSim::new(dse_serve_config()).run_ab(&trace, &report);
+    let cmp = ServeSim::new(dse_serve_config()).run_ab(&trace, report);
     let default_op = OperatingPoint::paper_default(cmp.tuned_op.layers());
     t.add_row(serve_row("paper-default", &default_op, &cmp.baseline));
     t.add_row(serve_row("dse-tuned", &cmp.tuned_op, &cmp.tuned));
@@ -1196,11 +1208,17 @@ pub fn serve_routed_study_from(report: &dse::DseReport) -> RoutedServeStudy {
 /// budget-constrained routing, on the same mixed trace. The routed row must
 /// strictly dominate the paper default on (p95, J/req) — CI gate 4.
 pub fn serve_routed() -> Table {
+    serve_routed_table(&serve_routed_study())
+}
+
+/// Renders an already-computed routed-serving study as the `serve_routed`
+/// table — the spec harness computes the study once and derives both the
+/// table and the gate metrics from it.
+pub fn serve_routed_table(study: &RoutedServeStudy) -> Table {
     let mut t = Table::new(
         "Serve  Routed operating points: default vs tuned vs Pareto-routed",
         &SERVE_OP_HEADERS,
     );
-    let study = serve_routed_study();
     let default_op = OperatingPoint::paper_default(study.tuned_op.layers());
     t.add_row(serve_row(
         "paper-default",
@@ -1300,18 +1318,24 @@ const SERVE_ADAPTIVE_HEADERS: [&str; 13] = [
 /// client-side shed/retry). The adaptive row must strictly dominate the
 /// static row on (p95, shed) within 5% of its J/req — CI gate 7.
 pub fn serve_adaptive() -> Table {
+    let report = dse_pareto_report();
+    let decode_op = report.route(&sofa_model::trace::RequestClass::Decode);
+    serve_adaptive_table(&serve_adaptive_study_from(&report), &decode_op)
+}
+
+/// Renders an already-computed adaptive-serving study as the
+/// `serve_adaptive` table (`decode_op` labels the operating-point column —
+/// the study itself routes per request).
+pub fn serve_adaptive_table(study: &AdaptiveServeStudy, decode_op: &OperatingPoint) -> Table {
     let mut t = Table::new(
         "Serve  Adaptive control loop: static Pareto routing vs measured-state routing",
         &SERVE_ADAPTIVE_HEADERS,
     );
-    let study = serve_adaptive_study();
-    let report = dse_pareto_report();
-    let decode_op = report.route(&sofa_model::trace::RequestClass::Decode);
-    let mut static_row = serve_row("static-routed", &decode_op, &study.static_routed);
+    let mut static_row = serve_row("static-routed", decode_op, &study.static_routed);
     static_row.push(study.static_routed.decayed_requests().to_string());
     static_row.push(study.static_routed.retried_served().to_string());
     t.add_row(static_row);
-    let mut adaptive_row = serve_row("adaptive", &decode_op, &study.adaptive);
+    let mut adaptive_row = serve_row("adaptive", decode_op, &study.adaptive);
     adaptive_row.push(study.adaptive.decayed_requests().to_string());
     adaptive_row.push(study.adaptive.retried_served().to_string());
     t.add_row(adaptive_row);

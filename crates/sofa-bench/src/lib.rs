@@ -2,12 +2,15 @@
 //! evaluation section.
 //!
 //! Each experiment is a library function in [`experiments`] that returns a
-//! [`Table`]; one thin binary per paper artefact prints it (see
-//! `src/bin/`). The mapping from paper figure/table to binary is catalogued in
-//! `DESIGN.md` and the measured-vs-paper comparison lives in
-//! `EXPERIMENTS.md`.
+//! [`Table`]; the typed [`registry`] names every runnable experiment and
+//! drives the thin binaries in `src/bin/` (via [`registry::run_bin`]), the
+//! `all_experiments` fan-out, the spec-driven `sofa-harness` runner, and
+//! the generated `docs/EXPERIMENTS.md` catalogue — so none of them can
+//! drift from the code.
 
 pub mod experiments;
+pub mod registry;
 pub mod report;
 
+pub use registry::{ExperimentEntry, ExperimentOutput, MetricValue};
 pub use report::Table;

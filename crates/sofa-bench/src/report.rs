@@ -105,8 +105,9 @@ impl Table {
     }
 }
 
-/// Escapes `s` as a JSON string literal.
-fn json_string(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (shared with the `sofa-harness`
+/// results writer).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,104 @@
+//! Deprecated thin shim over `harness run --all`.
+//!
+//! The seven hand-written gates this binary used to implement live in
+//! `specs/*.json` now, evaluated by the `harness` binary with the same
+//! exit-code contract (`0` pass, `1` gate tripped, `2` artifact problem).
+//! This shim keeps the old command line working: it still accepts the
+//! legacy `--trace PATH` / `--metrics PATH` flags and validates those
+//! files exactly as before, then delegates everything else to the spec
+//! runner. Prefer calling `harness run --all` directly.
+
+use sofa_harness::runner::{load_specs_dir, run_specs, RunOptions, SpecStatus};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Legacy file checks: unreadable/unparseable -> artifact error (2),
+/// invalid trace -> gate failure (1).
+fn check_legacy_file(path: &str, is_trace: bool) -> Result<u8, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_trace {
+        match sofa_obs::validate_chrome_trace(&text) {
+            Ok(stats) => {
+                println!(
+                    "trace {path}: {} events across {} tracks",
+                    stats.events, stats.tracks
+                );
+                Ok(0)
+            }
+            Err(e) => {
+                eprintln!("trace {path} failed validation: {e}");
+                Ok(1)
+            }
+        }
+    } else {
+        let doc = sofa_obs::json::parse(text.trim_end())
+            .map_err(|e| format!("metrics {path} is not valid JSON: {e}"))?;
+        for section in ["counters", "gauges", "histograms"] {
+            if doc.get(section).is_none() {
+                eprintln!("metrics {path} is missing the {section:?} section");
+                return Ok(1);
+            }
+        }
+        println!("metrics {path}: snapshot OK");
+        Ok(0)
+    }
+}
+
+fn run() -> Result<u8, String> {
+    eprintln!(
+        "note: check_regression is a thin shim over `harness run --all`; \
+         prefer the harness binary"
+    );
+    let mut worst = 0u8;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--trace" | "--metrics" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| format!("{flag} requires a path"))?;
+                worst = worst.max(check_legacy_file(&path, flag == "--trace")?);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let root = workspace_root();
+    let mut specs = Vec::new();
+    for (path, parsed) in load_specs_dir(&root.join("specs"))? {
+        specs.push(parsed.map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    let summary = run_specs(
+        &specs,
+        &RunOptions {
+            root,
+            update_golden: false,
+        },
+    );
+    for r in &summary.results {
+        let (tag, lines) = match r.status() {
+            SpecStatus::Pass => ("PASS", &r.ok),
+            SpecStatus::GateFailed => ("FAIL", &r.failures),
+            SpecStatus::ArtifactError => ("ERROR", &r.artifact_errors),
+        };
+        println!("{tag:<5} {} ({})", r.name, r.experiment);
+        for line in lines {
+            println!("      {line}");
+        }
+    }
+    Ok(worst.max(summary.exit_code()))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("check_regression: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -16,12 +16,15 @@
 //! * [`serve`] — continuous-batching request scheduling over multi-instance
 //!   simulation.
 //! * [`baselines`] — GPU/TPU and SOTA-accelerator comparison baselines.
-//! * [`mod@bench`] — the experiment harness regenerating the paper's figures.
+//! * [`mod@bench`] — the experiment registry regenerating the paper's figures.
+//! * [`harness`] — the declarative spec + gate runner driving CI
+//!   (`harness run --all` over `specs/*.json`).
 
 pub use sofa_baselines as baselines;
 pub use sofa_bench as bench;
 pub use sofa_core as core;
 pub use sofa_dse as dse;
+pub use sofa_harness as harness;
 pub use sofa_hw as hw;
 pub use sofa_model as model;
 pub use sofa_par as par;

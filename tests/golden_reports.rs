@@ -1,18 +1,19 @@
-//! Golden-report tests: the machine-readable JSON of the two CI smoke
+//! Golden-report tests: the machine-readable JSON of the CI smoke
 //! experiments is snapshotted under `tests/golden/` and must stay
-//! *byte-stable* — these tables are what `check_regression` and the CI
+//! *byte-stable* — these tables are what the harness specs and the CI
 //! artifact trajectory consume, so silent drift (a changed column, a
 //! renumbered grid, a nondeterministic cell) must fail loudly instead.
 //!
-//! Both experiments are pure functions of pinned configurations and the
+//! The experiments are pure functions of pinned configurations and the
 //! deterministic simulators, and the parallel execution engine guarantees
 //! bit-identical results at any `SOFA_THREADS`, so the snapshots hold on
 //! every machine and in both legs of the CI thread matrix.
 //!
-//! To regenerate after an *intentional* modelling change:
+//! To regenerate after an *intentional* modelling change (either form):
 //!
 //! ```bash
 //! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! cargo run --release -p sofa-harness --bin harness -- run --all --update-golden
 //! git diff tests/golden/   # review the drift before committing it
 //! ```
 
@@ -25,27 +26,13 @@ fn golden_path(name: &str) -> PathBuf {
 }
 
 /// Compares `got` against the stored snapshot, or rewrites the snapshot
-/// when `UPDATE_GOLDEN` is set in the environment.
+/// when `UPDATE_GOLDEN` is set in the environment. One shared
+/// implementation with the harness `golden_match` predicate.
 fn assert_matches_golden(name: &str, got: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
-            .expect("create tests/golden");
-        std::fs::write(&path, got).expect("write golden snapshot");
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); generate it with \
-             `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
-            path.display()
-        )
-    });
-    assert_eq!(
-        got, want,
-        "{name} drifted from its golden snapshot; if the change is \
-         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test --test \
-         golden_reports` and review the diff"
+    sofa_harness::golden::assert_matches(
+        &golden_path(name),
+        got,
+        "UPDATE_GOLDEN=1 cargo test --test golden_reports",
     );
 }
 

@@ -29,27 +29,13 @@ fn golden_path(name: &str) -> PathBuf {
 }
 
 /// Compares `got` against the stored snapshot, or rewrites the snapshot
-/// when `UPDATE_GOLDEN` is set in the environment.
+/// when `UPDATE_GOLDEN` is set in the environment. One shared
+/// implementation with the harness `golden_match` predicate.
 fn assert_matches_golden(name: &str, got: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
-            .expect("create tests/golden");
-        std::fs::write(&path, got).expect("write golden snapshot");
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); generate it with \
-             `UPDATE_GOLDEN=1 cargo test --test observability`",
-            path.display()
-        )
-    });
-    assert_eq!(
-        got, want,
-        "{name} drifted from its golden snapshot; if the change is \
-         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test --test \
-         observability` and review the diff"
+    sofa_harness::golden::assert_matches(
+        &golden_path(name),
+        got,
+        "UPDATE_GOLDEN=1 cargo test --test observability",
     );
 }
 
@@ -161,7 +147,8 @@ fn serve_trace_golden_is_byte_stable() {
 #[test]
 fn golden_trace_file_is_loadable_and_valid() {
     // A net over the committed snapshot itself: whatever lands in the repo
-    // must parse and pass the same checker CI gate 5 runs on artifacts.
+    // must parse and pass the same checker the harness `trace_valid`
+    // predicate runs on experiment output.
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         return;
     }
