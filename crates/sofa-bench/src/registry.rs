@@ -489,6 +489,38 @@ pub fn registry() -> Vec<ExperimentEntry> {
             false,
             || dse_output_from(&experiments::dse_pareto_report_fresh()),
         ),
+        // The wall-time perf trajectory (BENCH_perf): hit rates are hard
+        // gates, wall seconds are host-dependent and only budgeted. Like
+        // par_scaling these must run on the main thread — inside a parallel
+        // region sofa-par degrades to sequential and the timings would
+        // measure the degraded path.
+        ExperimentEntry {
+            name: "perf_lowering",
+            bin: None,
+            about: "serving lowering-cache wall time + hit rate on the routed and adaptive traces (hit-rate floors gate; wall time budgeted, never snapshotted)",
+            paper: false,
+            in_all: true,
+            main_thread: true,
+            run: experiments::perf_lowering,
+        },
+        ExperimentEntry {
+            name: "perf_fleet_mega",
+            bin: None,
+            about: "1M-request fleet wall time + per-node lowering-cache hit rate (hit-rate floor gates; wall budget advisory)",
+            paper: false,
+            in_all: false,
+            main_thread: true,
+            run: experiments::perf_fleet_mega,
+        },
+        ExperimentEntry {
+            name: "perf_dse",
+            bin: None,
+            about: "fresh DSE search wall time + candidate-dedup counters (dedup liveness gates; wall time budgeted)",
+            paper: false,
+            in_all: true,
+            main_thread: true,
+            run: experiments::perf_dse,
+        },
     ]
 }
 

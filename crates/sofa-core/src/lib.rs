@@ -36,6 +36,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod cache;
 pub mod dlzs;
 pub mod flash;
 pub mod lze;
@@ -46,6 +47,7 @@ pub mod sufa;
 pub mod tiling;
 pub mod topk;
 
+pub use cache::{CacheStats, LoweringCache, ShapeKey};
 pub use dlzs::DlzsPredictor;
 pub use ops::{OpCounts, OpKind};
 pub use sads::SadsConfig;

@@ -23,6 +23,7 @@ use crate::eval::{CandidateEval, HwAwareEvaluator, MetricVector};
 use crate::pareto::ParetoFront;
 use crate::space::{DseCandidate, DseSpace};
 use crate::surrogate::propose_next;
+use sofa_core::cache::LoweringCache;
 use sofa_model::trace::RequestClass;
 use sofa_model::OperatingPoint;
 use sofa_tensor::seeded_rng;
@@ -108,6 +109,12 @@ pub struct DseSearchConfig {
     pub profiles: Vec<ScalarWeights>,
     /// Base RNG seed (profile `i` derives its stream from `(seed, i)`).
     pub seed: u64,
+    /// Memoise candidate evaluations on the canonical per-layer encoding
+    /// (default `true`). The probe grid and the weight profiles propose
+    /// overlapping candidates; evaluation is a pure function of the
+    /// candidate, so dedup changes wall time only — the report (minus
+    /// [`DseReport::evals_saved`]) is bit-identical either way.
+    pub dedup: bool,
 }
 
 impl DseSearchConfig {
@@ -122,6 +129,7 @@ impl DseSearchConfig {
             probe_tiles: vec![4, 8, 16, 32],
             profiles: ScalarWeights::profiles(),
             seed,
+            dedup: true,
         }
     }
 
@@ -136,6 +144,7 @@ impl DseSearchConfig {
             probe_tiles: vec![8, 16],
             profiles: vec![ScalarWeights::balanced()],
             seed,
+            dedup: true,
         }
     }
 }
@@ -161,6 +170,11 @@ pub struct DseReport {
     pub best: CandidateEval,
     /// Total candidate lowerings performed (including the default).
     pub evaluations: usize,
+    /// Candidate evaluations answered from the dedup memo instead of being
+    /// re-lowered (0 with [`DseSearchConfig::dedup`] off). Deterministic:
+    /// probe dedup is serial and each profile's saves are a pure function of
+    /// its own proposal stream.
+    pub evals_saved: usize,
 }
 
 impl DseReport {
@@ -208,7 +222,17 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
     let paper_default = evaluator.evaluate(&space.paper_default_candidate());
     let reference = paper_default.metrics;
 
-    // Phase 1 — deterministic coarse probes, batch-parallel.
+    // The dedup memo: evaluation is a pure function of the candidate's
+    // canonical per-layer encoding, so a memo hit returns the exact bits a
+    // re-evaluation would. Filled serially (dedup-before-parallel in the
+    // probe phase, per-profile local memos in the search phase), so the
+    // saved-evaluation count is deterministic at any `SOFA_THREADS`.
+    let mut memo: EvalMemo = LoweringCache::new(cfg.dedup);
+    memo.preload(candidate_key(&paper_default.candidate), reference);
+
+    // Phase 1 — deterministic coarse probes, batch-parallel over the
+    // *distinct* candidates (the paper default overlaps the grid whenever
+    // its `(keep, Bc)` is a grid point).
     let probes: Vec<DseCandidate> = cfg
         .probe_keeps
         .iter()
@@ -218,13 +242,43 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
                 .map(move |&bc| DseCandidate::uniform(keep, bc, space.layers))
         })
         .collect();
-    let probe_evals = evaluator.evaluate_batch(&probes);
+    let mut fresh: Vec<DseCandidate> = Vec::new();
+    let mut pending: std::collections::HashMap<CandidateKey, usize> =
+        std::collections::HashMap::new();
+    let mut probe_src: Vec<Result<MetricVector, usize>> = Vec::with_capacity(probes.len());
+    for c in &probes {
+        let key = candidate_key(c);
+        if let Some(m) = memo.peek(&key).copied() {
+            memo.record_shared_hits(1);
+            probe_src.push(Ok(m));
+        } else if let Some(&i) = pending.get(&key).filter(|_| cfg.dedup) {
+            memo.record_shared_hits(1);
+            probe_src.push(Err(i));
+        } else {
+            pending.insert(key, fresh.len());
+            probe_src.push(Err(fresh.len()));
+            fresh.push(c.clone());
+        }
+    }
+    let fresh_evals = evaluator.evaluate_batch(&fresh);
+    for e in &fresh_evals {
+        memo.insert_computed(candidate_key(&e.candidate), e.metrics);
+    }
+    let probe_evals: Vec<CandidateEval> = probes
+        .into_iter()
+        .zip(probe_src)
+        .map(|(candidate, src)| CandidateEval {
+            metrics: src.unwrap_or_else(|i| fresh_evals[i].metrics),
+            candidate,
+        })
+        .collect();
 
     // Phase 2 — one scalarized Bayesian search per profile, profiles in
     // parallel. Each profile is a pure function of (probes, seed, profile),
-    // so the fan-out cannot change results.
+    // so the fan-out cannot change results; the shared memo is read-only
+    // here and each profile counts its own saves in a local memo.
     let profile_indices: Vec<usize> = (0..cfg.profiles.len()).collect();
-    let profile_runs: Vec<Vec<CandidateEval>> = sofa_par::par_map(&profile_indices, |&p| {
+    let profile_runs: Vec<(Vec<CandidateEval>, u64)> = sofa_par::par_map(&profile_indices, |&p| {
         run_profile(
             evaluator,
             &space,
@@ -233,14 +287,18 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
             p,
             &probe_evals,
             &reference,
+            &memo,
         )
     });
 
     // Phase 3 — pool and reduce.
     let mut evaluated = probe_evals;
-    for run in profile_runs {
+    let mut evals_saved = memo.stats().hits;
+    for (run, saved) in profile_runs {
         evaluated.extend(run);
+        evals_saved += saved;
     }
+    let evals_saved = evals_saved as usize;
     let evaluations = evaluated.len() + 1;
     let mut pool = evaluated.clone();
     pool.push(paper_default.clone());
@@ -275,11 +333,30 @@ pub fn hardware_aware_search(evaluator: &HwAwareEvaluator, cfg: &DseSearchConfig
         pareto,
         best,
         evaluations,
+        evals_saved,
     }
 }
 
+/// The canonical candidate encoding the dedup memo keys on: per-layer keep
+/// ratios as IEEE-754 bit patterns plus per-layer tile sizes. Bit-identical
+/// floats collide; any per-layer difference misses.
+type CandidateKey = (Vec<u64>, Vec<usize>);
+
+/// The candidate-evaluation memo (see [`DseSearchConfig::dedup`]).
+type EvalMemo = LoweringCache<CandidateKey, MetricVector>;
+
+fn candidate_key(c: &DseCandidate) -> CandidateKey {
+    (
+        c.keep_ratios.iter().map(|k| k.to_bits()).collect(),
+        c.tile_sizes.clone(),
+    )
+}
+
 /// One profile's scalarized Bayesian run: warm-started from the probe
-/// observations, returning only the *new* evaluations it performed.
+/// observations, returning only the *new* evaluations it performed plus the
+/// number it answered from the memo (`base`, read-only, shared across
+/// profiles) or its own proposal history instead of re-lowering.
+#[allow(clippy::too_many_arguments)]
 fn run_profile(
     evaluator: &HwAwareEvaluator,
     space: &DseSpace,
@@ -288,7 +365,8 @@ fn run_profile(
     profile_index: usize,
     probes: &[CandidateEval],
     reference: &MetricVector,
-) -> Vec<CandidateEval> {
+    base: &EvalMemo,
+) -> (Vec<CandidateEval>, u64) {
     let mut rng = seeded_rng(sofa_par::item_seed(cfg.seed, profile_index as u64));
     let mut observed_x: Vec<Vec<f64>> = Vec::new();
     let mut observed_y: Vec<f64> = Vec::new();
@@ -296,6 +374,22 @@ fn run_profile(
         observed_x.push(space.encode(&e.candidate));
         observed_y.push(weights.scalarize(&e.metrics, reference));
     }
+
+    let mut local: EvalMemo = LoweringCache::new(cfg.dedup);
+    let evaluate = |c: DseCandidate, local: &mut EvalMemo| -> CandidateEval {
+        let key = candidate_key(&c);
+        let cached = base.peek(&key).or_else(|| local.peek(&key)).copied();
+        if let Some(m) = cached {
+            local.record_shared_hits(1);
+            return CandidateEval {
+                metrics: m,
+                candidate: c,
+            };
+        }
+        let e = evaluator.evaluate(&c);
+        local.insert_computed(key, e.metrics);
+        e
+    };
 
     let mut new_evals: Vec<CandidateEval> = Vec::new();
     let mut observe =
@@ -307,7 +401,8 @@ fn run_profile(
 
     for _ in 0..cfg.init_samples {
         let c = space.sample(&mut rng);
-        observe(evaluator.evaluate(&c), &mut observed_x, &mut observed_y);
+        let e = evaluate(c, &mut local);
+        observe(e, &mut observed_x, &mut observed_y);
     }
     for _ in 0..cfg.guided_iters {
         let chosen = propose_next(
@@ -317,13 +412,11 @@ fn run_profile(
             cfg.acquisition_candidates,
             &mut rng,
         );
-        observe(
-            evaluator.evaluate(&chosen),
-            &mut observed_x,
-            &mut observed_y,
-        );
+        let e = evaluate(chosen, &mut local);
+        observe(e, &mut observed_x, &mut observed_y);
     }
-    new_evals
+    let saved = local.stats().hits;
+    (new_evals, saved)
 }
 
 #[cfg(test)]

@@ -38,6 +38,14 @@ fn predicate_summary(pred: &Predicate) -> String {
         Predicate::GoldenMatch { .. } => "`golden_match`".to_string(),
         Predicate::TraceValid { text, .. } => format!("`trace_valid({text})`"),
         Predicate::CountEquality { left, right } => format!("`count_equality({left} == {right})`"),
+        Predicate::WallTimeBudget {
+            metric,
+            budget_seconds,
+            advisory,
+        } => format!(
+            "`wall_time_budget({metric} <= {budget_seconds}s{})`",
+            if *advisory { ", advisory" } else { "" }
+        ),
     }
 }
 

@@ -82,6 +82,11 @@ pub fn evaluate(pred: &Predicate, ctx: &EvalContext) -> Verdict {
             text,
         } => golden_match(ctx, golden, *table, text.as_deref()),
         Predicate::TraceValid { text, format } => trace_valid(ctx.output, text, *format),
+        Predicate::WallTimeBudget {
+            metric,
+            budget_seconds,
+            advisory,
+        } => wall_time_budget(ctx.output, metric, *budget_seconds, *advisory),
         Predicate::CountEquality { left, right } => {
             let (l, r) = match (ctx.output.scalar(left), ctx.output.scalar(right)) {
                 (Some(l), Some(r)) => (l, r),
@@ -206,6 +211,28 @@ fn non_empty(out: &ExperimentOutput, metric: Option<&str>) -> Verdict {
             }
             Verdict::Pass(format!("{} tables, all with rows", out.tables.len()))
         }
+    }
+}
+
+/// Wall-clock budgets exist to catch order-of-magnitude perf regressions,
+/// not to snapshot host-dependent timings — budgets in specs should be
+/// generous, and `advisory` turns an overrun into a passing note for
+/// scenarios where even that could flake on a loaded CI machine.
+fn wall_time_budget(out: &ExperimentOutput, metric: &str, budget: f64, advisory: bool) -> Verdict {
+    let Some(v) = out.scalar(metric) else {
+        return Verdict::ArtifactError(format!(
+            "wall_time_budget references scalar metric {metric:?}, \
+             which the experiment did not export"
+        ));
+    };
+    if v <= budget {
+        Verdict::Pass(format!("{metric} {v:.2}s within {budget}s budget"))
+    } else if advisory {
+        Verdict::Pass(format!(
+            "{metric} {v:.2}s over {budget}s budget (advisory — not gating)"
+        ))
+    } else {
+        Verdict::GateFail(format!("{metric} {v:.2}s exceeds {budget}s budget"))
     }
 }
 
@@ -459,6 +486,39 @@ mod tests {
             Verdict::GateFail(msg) => assert!(msg.contains("8 worker threads"), "{msg}"),
             other => panic!("expected GateFail, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn wall_time_budget_gates_unless_advisory() {
+        let out = out_with(&[("wall_seconds", sofa_bench::MetricValue::Scalar(12.5))]);
+        let pred = |budget: f64, advisory: bool| Predicate::WallTimeBudget {
+            metric: "wall_seconds".into(),
+            budget_seconds: budget,
+            advisory,
+        };
+        assert!(matches!(eval(&pred(60.0, false), &out), Verdict::Pass(_)));
+        // Over budget: gating fails, advisory passes with a note.
+        assert!(matches!(
+            eval(&pred(10.0, false), &out),
+            Verdict::GateFail(_)
+        ));
+        match eval(&pred(10.0, true), &out) {
+            Verdict::Pass(msg) => assert!(msg.contains("advisory"), "{msg}"),
+            other => panic!("advisory overrun must pass, got {other:?}"),
+        }
+        // A missing or non-scalar metric is an artifact problem.
+        assert!(matches!(
+            eval(&pred(60.0, false), &ExperimentOutput::default()),
+            Verdict::ArtifactError(_)
+        ));
+        let series = out_with(&[(
+            "wall_seconds",
+            sofa_bench::MetricValue::Series(vec![1.0, 2.0]),
+        )]);
+        assert!(matches!(
+            eval(&pred(60.0, false), &series),
+            Verdict::ArtifactError(_)
+        ));
     }
 
     #[test]

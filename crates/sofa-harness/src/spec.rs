@@ -110,6 +110,21 @@ pub enum Predicate {
     TraceValid { text: String, format: TraceFormat },
     /// Two scalar metrics are exactly equal (served-request counts).
     CountEquality { left: String, right: String },
+    /// A wall-clock scalar stays under a budget. Budgets protect the perf
+    /// trajectory from order-of-magnitude regressions, so they should be
+    /// generous — wall time is host-dependent and must never be held to the
+    /// byte-identity standard of the other gates. With `advisory` the
+    /// predicate reports an overrun but still passes (for scenarios where
+    /// even a generous budget could flake on a loaded CI machine).
+    WallTimeBudget {
+        /// Scalar metric holding the measured seconds (default
+        /// `wall_seconds`, the perf experiments' convention).
+        metric: String,
+        /// Upper bound in seconds.
+        budget_seconds: f64,
+        /// Report overruns without failing the gate.
+        advisory: bool,
+    },
 }
 
 /// Parses one spec file.
@@ -394,6 +409,30 @@ fn predicate_from_json(v: &Json, index: usize) -> Result<Predicate, String> {
                 right: str_field(o, &what, "right")?,
             })
         }
+        "wall_time_budget" => {
+            let o = obj(v, &what, &["kind", "metric", "budget_seconds", "advisory"])?;
+            let metric = match o.get("metric") {
+                None => "wall_seconds".to_string(),
+                Some(m) => m
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{what} field \"metric\" must be a string"))?,
+            };
+            let budget_seconds = num_field(o, &what, "budget_seconds")?;
+            if budget_seconds <= 0.0 || budget_seconds.is_nan() {
+                return Err(format!("{what}: budget_seconds must be positive"));
+            }
+            let advisory = match o.get("advisory") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err(format!("{what} field \"advisory\" must be a boolean")),
+            };
+            Ok(Predicate::WallTimeBudget {
+                metric,
+                budget_seconds,
+                advisory,
+            })
+        }
         other => Err(format!("{what} has unknown kind {other:?}")),
     }
 }
@@ -410,6 +449,7 @@ impl Predicate {
             Predicate::GoldenMatch { .. } => "golden_match",
             Predicate::TraceValid { .. } => "trace_valid",
             Predicate::CountEquality { .. } => "count_equality",
+            Predicate::WallTimeBudget { .. } => "wall_time_budget",
         }
     }
 }
@@ -533,6 +573,50 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn wall_time_budget_defaults_and_bounds() {
+        let spec = parse_spec(
+            r#"{"name": "d", "about": "d", "experiment": "e",
+                "predicates": [
+                  {"kind": "wall_time_budget", "budget_seconds": 60},
+                  {"kind": "wall_time_budget", "metric": "fleet_wall",
+                   "budget_seconds": 300, "advisory": true}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.predicates[0],
+            Predicate::WallTimeBudget {
+                metric: "wall_seconds".into(),
+                budget_seconds: 60.0,
+                advisory: false,
+            }
+        );
+        assert_eq!(
+            spec.predicates[1],
+            Predicate::WallTimeBudget {
+                metric: "fleet_wall".into(),
+                budget_seconds: 300.0,
+                advisory: true,
+            }
+        );
+        for bad in [
+            r#"{"kind": "wall_time_budget"}"#,
+            r#"{"kind": "wall_time_budget", "budget_seconds": 0}"#,
+            r#"{"kind": "wall_time_budget", "budget_seconds": -5}"#,
+            r#"{"kind": "wall_time_budget", "budget_seconds": 60, "advisory": "yes"}"#,
+        ] {
+            let err = parse_spec(&format!(
+                r#"{{"name": "d", "about": "d", "experiment": "e", "predicates": [{bad}]}}"#
+            ))
+            .unwrap_err();
+            assert!(
+                err.contains("budget_seconds") || err.contains("advisory"),
+                "predicate {bad} gave unrelated error {err}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@
 //! `SOFA_THREADS` and across repeated runs.
 
 use crate::report::ServeReport;
-use crate::scheduler::{AdmitPolicy, OpRouter, ServeConfig, ServeSim};
+use crate::scheduler::{AdmitPolicy, LowerCache, OpRouter, PointLowering, ServeConfig, ServeSim};
+use sofa_core::cache::{CacheStats, ShapeKey};
 use sofa_model::trace::{RequestClass, RequestTrace};
 use sofa_obs::{MetricsRegistry, QuantileSketch, TraceRecorder};
 use sofa_sim::tracks::{PID_FABRIC, PID_FLEET_ROUTER};
@@ -413,7 +414,26 @@ impl FleetServeSim {
     ///
     /// Panics if `trace` is empty.
     pub fn run(&self, trace: &RequestTrace, router: OpRouter) -> FleetReport {
-        self.run_inner(trace, router, &mut TraceRecorder::disabled())
+        self.run_inner(
+            trace,
+            router,
+            &mut TraceRecorder::disabled(),
+            &mut CacheStats::default(),
+        )
+    }
+
+    /// [`FleetServeSim::run`] plus the lowering-cache effectiveness counters
+    /// of the run. The report is bit-identical to [`FleetServeSim::run`]'s;
+    /// the statistics ride outside it so cache-on and cache-off reports stay
+    /// comparable bytes.
+    pub fn run_with_cache_stats(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+    ) -> (FleetReport, CacheStats) {
+        let mut stats = CacheStats::default();
+        let report = self.run_inner(trace, router, &mut TraceRecorder::disabled(), &mut stats);
+        (report, stats)
     }
 
     /// [`FleetServeSim::run`] plus observability: per-node pipeline tracks
@@ -432,51 +452,67 @@ impl FleetServeSim {
         obs: &mut TraceRecorder,
         metrics: &mut MetricsRegistry,
     ) -> FleetReport {
-        let report = self.run_inner(trace, router, obs);
+        let report = self.run_inner(trace, router, obs, &mut CacheStats::default());
         report.record_metrics(metrics);
         report
     }
 
     /// Lowers the trace shape-memoized: one [`ServeSim`] lowering per
-    /// *distinct* request shape (in parallel, first-occurrence order), an
-    /// index into the shape table per request.
-    fn lower_shapes(&self, trace: &RequestTrace, router: OpRouter) -> (Vec<Shape>, Vec<usize>) {
+    /// *distinct* `(request shape, routed operating point)` key (in
+    /// parallel, first-occurrence order), an index into the shape table per
+    /// request. The keys and results seed `cache`, so retry re-lowerings
+    /// share work with the batch; with the cache off every request lowers
+    /// independently (the cache-differential baseline).
+    fn lower_shapes(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+        cache: &mut LowerCache,
+    ) -> (Vec<Shape>, Vec<usize>) {
         let mut csim = CycleSim::new(self.cfg.serve.hw);
         csim.params = self.cfg.serve.sim;
         let lowerer = ServeSim::new(self.cfg.serve.clone());
-        let mut table: HashMap<(u8, usize, usize, usize, usize, u64), usize> = HashMap::new();
+        let mut table: HashMap<ShapeKey, usize> = HashMap::new();
         let mut shape_of = Vec::with_capacity(trace.requests.len());
         let mut reps: Vec<usize> = Vec::new();
         for (i, spec) in trace.requests.iter().enumerate() {
-            let key = (
-                match spec.class {
-                    RequestClass::Prefill => 0u8,
-                    RequestClass::Decode => 1,
-                },
-                spec.queries,
-                spec.seq_len,
-                spec.hidden,
-                spec.heads,
-                spec.keep_ratio.to_bits(),
-            );
-            let idx = *table.entry(key).or_insert_with(|| {
+            if cache.enabled() {
+                let op = router.pick(&self.cfg.serve.op, spec);
+                let idx = *table.entry(ShapeKey::new(spec, &op)).or_insert_with(|| {
+                    reps.push(i);
+                    reps.len() - 1
+                });
+                shape_of.push(idx);
+            } else {
                 reps.push(i);
-                reps.len() - 1
-            });
-            shape_of.push(idx);
-        }
-        let shapes = sofa_par::par_map_index(reps.len(), |k| {
-            let spec = &trace.requests[reps[k]];
-            let low = lowerer.lower_routed(&csim, spec, &router);
-            Shape {
-                job: Arc::new(low.job),
-                footprint: low.footprint,
-                energy_pj: low.energy_pj,
-                rerouted: low.rerouted,
-                admit: low.admit,
-                class: low.class,
+                shape_of.push(reps.len() - 1);
             }
+        }
+        let rep_lowered = sofa_par::par_map_index(reps.len(), |k| {
+            lowerer.lower_routed(&csim, &trace.requests[reps[k]], &router)
         });
+        cache.record_shared_hits((trace.requests.len() - reps.len()) as u64);
+        let shapes = rep_lowered
+            .into_iter()
+            .map(|low| {
+                cache.insert_computed(
+                    ShapeKey::new(&low.spec, &low.op),
+                    PointLowering {
+                        job: Arc::clone(&low.job),
+                        footprint: low.footprint,
+                        energy_pj: low.energy_pj,
+                    },
+                );
+                Shape {
+                    job: low.job,
+                    footprint: low.footprint,
+                    energy_pj: low.energy_pj,
+                    rerouted: low.rerouted,
+                    admit: low.admit,
+                    class: low.class,
+                }
+            })
+            .collect();
         (shapes, shape_of)
     }
 
@@ -628,11 +664,13 @@ impl FleetServeSim {
         trace: &RequestTrace,
         router: OpRouter,
         obs: &mut TraceRecorder,
+        cache_stats: &mut CacheStats,
     ) -> FleetReport {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
         let s = &self.cfg.serve;
         let ipn = s.instances;
-        let (mut shapes, mut shape_of) = self.lower_shapes(trace, router);
+        let mut cache = LowerCache::new(s.lowering_cache);
+        let (mut shapes, mut shape_of) = self.lower_shapes(trace, router, &mut cache);
         // Retry re-lowering happens serially, on demand, memoized per
         // (original shape, attempt) — the retried shapes append to the same
         // table and `shape_of` is repointed on a successful re-admission.
@@ -726,6 +764,7 @@ impl FleetServeSim {
                     let key = (shape_of[req], attempt);
                     let idx = *retry_table.entry(key).or_insert_with(|| {
                         let (_, lowering) = retry_lowerer.retry_lowering(
+                            &mut cache,
                             &retry_csim,
                             &router,
                             &specs[req],
@@ -738,7 +777,7 @@ impl FleetServeSim {
                             .energy_budget_pj_per_req
                             .is_some_and(|b| lowering.energy_pj > b);
                         shapes.push(Shape {
-                            job: Arc::new(lowering.job),
+                            job: lowering.job,
                             footprint: lowering.footprint,
                             energy_pj: lowering.energy_pj,
                             rerouted: true,
@@ -805,6 +844,7 @@ impl FleetServeSim {
             }
         }
         debug_assert!(state.waiting.is_empty(), "all eligible requests admitted");
+        *cache_stats = cache.stats();
         obs.absorb(fleet.take_trace());
 
         let sim_report = fleet.report();

@@ -65,8 +65,10 @@
 
 use crate::report::{RequestRecord, ServeReport, ShedRecord};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
+use sofa_core::cache::{CacheStats, LoweringCache, ShapeKey};
 use sofa_dse::ParetoFront;
 use sofa_hw::accel::AttentionTask;
 use sofa_hw::config::HwConfig;
@@ -304,6 +306,11 @@ pub struct ServeConfig {
     /// the most energy headroom. `None` (the default) keeps pure
     /// least-booked placement.
     pub instance_energy_budget_pj: Option<f64>,
+    /// Memoise lowerings on `(request shape, operating point)` keys
+    /// (default `true`). Lowering is a pure function of that key, so the
+    /// cache changes wall time only — reports and trace bytes are
+    /// bit-identical either way (proven by the cache-differential tests).
+    pub lowering_cache: bool,
 }
 
 impl ServeConfig {
@@ -330,6 +337,7 @@ impl ServeConfig {
             decay_threshold: None,
             retry: None,
             instance_energy_budget_pj: None,
+            lowering_cache: true,
         }
     }
 
@@ -391,7 +399,9 @@ pub(crate) struct Lowered {
     pub(crate) spec: RequestSpec,
     /// The operating point the current lowering used.
     pub(crate) op: OperatingPoint,
-    pub(crate) job: PipelineJob,
+    /// The lowered tile stream, shared with every other request that lowered
+    /// to the same `(shape, operating point)` key when the cache is on.
+    pub(crate) job: Arc<PipelineJob>,
     /// Bytes admission control books for the request (the worst layer).
     pub(crate) footprint: u64,
     /// Projected energy of the whole request (all layers) in picojoules.
@@ -484,10 +494,25 @@ impl ServeSim {
             combined.cycles.extend(job.cycles);
         }
         PointLowering {
-            job: combined,
+            job: Arc::new(combined),
             footprint,
             energy_pj,
         }
+    }
+
+    /// [`ServeSim::lower_at`] through the lowering cache. Serial-path entry
+    /// point for the adaptive re-lowering mechanisms; the batch path seeds
+    /// the same cache via its dedup pass instead.
+    fn lower_at_cached(
+        &self,
+        cache: &mut LowerCache,
+        csim: &CycleSim,
+        spec: &RequestSpec,
+        op: &OperatingPoint,
+    ) -> PointLowering {
+        cache
+            .get_or_insert_with(ShapeKey::new(spec, op), || self.lower_at(csim, spec, op))
+            .clone()
     }
 
     /// Lowers one request through `router`, applying the energy budget:
@@ -548,7 +573,26 @@ impl ServeSim {
     /// Panics if `trace` is empty or a [`OpRouter::Feedback`] configuration
     /// fails [`FeedbackConfig::validate`].
     pub fn run_with(&self, trace: &RequestTrace, router: OpRouter) -> ServeReport {
-        self.run_inner(trace, router, &mut TraceRecorder::disabled())
+        self.run_inner(
+            trace,
+            router,
+            &mut TraceRecorder::disabled(),
+            &mut CacheStats::default(),
+        )
+    }
+
+    /// [`ServeSim::run_with`] plus the lowering-cache effectiveness counters
+    /// of the run. The report is bit-identical to [`ServeSim::run_with`]'s —
+    /// the statistics ride outside it precisely so cache-on and cache-off
+    /// reports stay comparable bytes.
+    pub fn run_with_cache_stats(
+        &self,
+        trace: &RequestTrace,
+        router: OpRouter,
+    ) -> (ServeReport, CacheStats) {
+        let mut stats = CacheStats::default();
+        let report = self.run_inner(trace, router, &mut TraceRecorder::disabled(), &mut stats);
+        (report, stats)
     }
 
     /// [`ServeSim::run_with`] plus observability: request-lifecycle spans,
@@ -570,7 +614,7 @@ impl ServeSim {
         obs: &mut TraceRecorder,
         metrics: &mut MetricsRegistry,
     ) -> ServeReport {
-        let report = self.run_inner(trace, router, obs);
+        let report = self.run_inner(trace, router, obs, &mut CacheStats::default());
         report.record_metrics(metrics);
         report
     }
@@ -580,6 +624,7 @@ impl ServeSim {
         trace: &RequestTrace,
         router: OpRouter,
         obs: &mut TraceRecorder,
+        cache_stats: &mut CacheStats,
     ) -> ServeReport {
         assert!(!trace.is_empty(), "cannot serve an empty trace");
         if let OpRouter::Feedback(_, fb) = &router {
@@ -604,58 +649,103 @@ impl ServeSim {
         let mut csim = CycleSim::new(self.cfg.hw);
         csim.params = self.cfg.sim;
         // Lowering a request (routing, descriptor generation, per-tile cycle
-        // apportioning, energy projection) is a pure function of the spec,
-        // so the whole trace fans out across cores before the serial event
-        // loop; order is preserved, so the simulation is oblivious to the
-        // thread count. Each worker records into a fork of `obs` (an empty
-        // buffer when tracing is off); the forks are absorbed in arrival
-        // order, keeping the trace bytes thread-count-independent.
-        let parent = &*obs;
-        let pairs: Vec<(Lowered, TraceRecorder)> =
-            sofa_par::par_map_index(trace.requests.len(), |i| {
-                let spec = &trace.requests[i];
-                let mut rec = parent.fork();
-                let req = self.lower_routed(&csim, spec, &router);
-                if rec.is_enabled() {
-                    let tid = i as u64;
-                    rec.instant(
+        // apportioning, energy projection) is a pure function of
+        // `(request shape, operating point)`. A serial dedup pass elects one
+        // representative per distinct key; only the representatives fan out
+        // across cores (in index order, so the result is oblivious to the
+        // thread count), and every other request shares its representative's
+        // lowering. With the cache off every request is its own
+        // representative — the classic full fan-out.
+        let cache_on = self.cfg.lowering_cache;
+        let mut rep_of: Vec<usize> = Vec::with_capacity(trace.requests.len());
+        let mut reps: Vec<usize> = Vec::new();
+        {
+            let mut seen: HashMap<ShapeKey, usize> = HashMap::new();
+            for spec in &trace.requests {
+                if cache_on {
+                    let op = router.pick(&self.cfg.op, spec);
+                    let rep = *seen.entry(ShapeKey::new(spec, &op)).or_insert_with(|| {
+                        reps.push(rep_of.len());
+                        reps.len() - 1
+                    });
+                    rep_of.push(rep);
+                } else {
+                    reps.push(rep_of.len());
+                    rep_of.push(reps.len() - 1);
+                }
+            }
+        }
+        let rep_lowered: Vec<Lowered> = sofa_par::par_map_index(reps.len(), |k| {
+            self.lower_routed(&csim, &trace.requests[reps[k]], &router)
+        });
+        // Seed the event-loop cache with each representative's final-point
+        // lowering and account the dedup pass: one miss per representative,
+        // one hit per request that shared one.
+        let mut cache = LowerCache::new(cache_on);
+        for rep in &rep_lowered {
+            cache.insert_computed(
+                ShapeKey::new(&rep.spec, &rep.op),
+                PointLowering {
+                    job: Arc::clone(&rep.job),
+                    footprint: rep.footprint,
+                    energy_pj: rep.energy_pj,
+                },
+            );
+        }
+        cache.record_shared_hits((trace.requests.len() - reps.len()) as u64);
+        let mut lowered = Vec::with_capacity(trace.requests.len());
+        for (i, spec) in trace.requests.iter().enumerate() {
+            let rep = &rep_lowered[rep_of[i]];
+            let req = Lowered {
+                class: spec.class,
+                arrival: spec.arrival_cycle,
+                spec: *spec,
+                op: rep.op.clone(),
+                job: Arc::clone(&rep.job),
+                footprint: rep.footprint,
+                energy_pj: rep.energy_pj,
+                rerouted: rep.rerouted,
+                admit: rep.admit,
+                decayed: false,
+                decay_checked: false,
+                retries: 0,
+                level: 0,
+            };
+            if obs.is_enabled() {
+                let tid = i as u64;
+                obs.instant(
+                    PID_REQUESTS,
+                    tid,
+                    "lowered",
+                    req.arrival,
+                    &[
+                        ("class", ArgValue::Str(class_name(req.class))),
+                        ("footprint_bytes", ArgValue::U64(req.footprint)),
+                        ("energy_pj", ArgValue::F64(req.energy_pj)),
+                    ],
+                );
+                if req.rerouted {
+                    obs.instant(
                         PID_REQUESTS,
                         tid,
-                        "lowered",
+                        "reroute",
                         req.arrival,
-                        &[
-                            ("class", ArgValue::Str(class_name(req.class))),
-                            ("footprint_bytes", ArgValue::U64(req.footprint)),
-                            ("energy_pj", ArgValue::F64(req.energy_pj)),
-                        ],
+                        &[("to", ArgValue::Str("energy-leanest"))],
                     );
-                    if req.rerouted {
-                        rec.instant(
-                            PID_REQUESTS,
-                            tid,
-                            "reroute",
-                            req.arrival,
-                            &[("to", ArgValue::Str("energy-leanest"))],
-                        );
-                    }
-                    // With a retry policy a first-attempt shed is not final:
-                    // the serial loop buffers shed-retry/retry/shed instants
-                    // and they are emitted post-run instead.
-                    if !req.admit && self.cfg.retry.is_none() {
-                        rec.instant(
-                            PID_REQUESTS,
-                            tid,
-                            "shed",
-                            req.arrival,
-                            &[("energy_pj", ArgValue::F64(req.energy_pj))],
-                        );
-                    }
                 }
-                (req, rec)
-            });
-        let mut lowered = Vec::with_capacity(pairs.len());
-        for (req, rec) in pairs {
-            obs.absorb(rec);
+                // With a retry policy a first-attempt shed is not final:
+                // the serial loop buffers shed-retry/retry/shed instants
+                // and they are emitted post-run instead.
+                if !req.admit && self.cfg.retry.is_none() {
+                    obs.instant(
+                        PID_REQUESTS,
+                        tid,
+                        "shed",
+                        req.arrival,
+                        &[("energy_pj", ArgValue::F64(req.energy_pj))],
+                    );
+                }
+            }
             lowered.push(req);
         }
 
@@ -701,7 +791,7 @@ impl ServeSim {
                     let attempt = lowered[req].retries + 1;
                     let spec = lowered[req].spec;
                     let (op, lowering) =
-                        self.retry_lowering(&csim, &router, &spec, &policy, attempt);
+                        self.retry_lowering(&mut cache, &csim, &router, &spec, &policy, attempt);
                     lowered[req].retries = attempt;
                     lowered[req].energy_pj = lowering.energy_pj;
                     let over = self
@@ -784,7 +874,15 @@ impl ServeSim {
                     }
                     next_arrival += 1;
                 }
-                self.try_admit(now, &ctx, &mut lowered, &mut state, &mut msim, obs);
+                self.try_admit(
+                    now,
+                    &ctx,
+                    &mut cache,
+                    &mut lowered,
+                    &mut state,
+                    &mut msim,
+                    obs,
+                );
             } else {
                 let step = msim.step().expect("event was pending");
                 if let Some(done) = step.completed {
@@ -820,7 +918,15 @@ impl ServeSim {
                             &[("bytes", state.inflight_bytes[done.instance] as f64)],
                         );
                     }
-                    self.try_admit(step.time, &ctx, &mut lowered, &mut state, &mut msim, obs);
+                    self.try_admit(
+                        step.time,
+                        &ctx,
+                        &mut cache,
+                        &mut lowered,
+                        &mut state,
+                        &mut msim,
+                        obs,
+                    );
                 }
             }
         }
@@ -898,6 +1004,7 @@ impl ServeSim {
                 }
             })
             .collect();
+        *cache_stats = cache.stats();
         let multi = msim.report();
         obs.absorb(msim.take_trace());
         let latency = ServeReport::sketch_latencies(&records);
@@ -919,6 +1026,7 @@ impl ServeSim {
     /// ratio shrunk by `keep_factorᵃᵗᵗᵉᵐᵖᵗ`, floored at 1% keep.
     pub(crate) fn retry_lowering(
         &self,
+        cache: &mut LowerCache,
         csim: &CycleSim,
         router: &OpRouter,
         spec: &RequestSpec,
@@ -928,7 +1036,10 @@ impl ServeSim {
         let base = router.leaner().unwrap_or_else(|| self.cfg.op.clone());
         let keep = (base.mean_keep() * policy.keep_factor.powi(attempt as i32)).max(0.01);
         let op = base.with_uniform_keep(keep);
-        let lowering = self.lower_at(csim, spec, &op);
+        // The attempt-shrunk keep is part of the cache key, so repeat
+        // attempts at the same shrink level hit instead of re-running the
+        // full pipeline lowering.
+        let lowering = self.lower_at_cached(cache, csim, spec, &op);
         (op, lowering)
     }
 
@@ -940,6 +1051,7 @@ impl ServeSim {
         &self,
         now: u64,
         ctx: &RouteCtx,
+        cache: &mut LowerCache,
         lowered: &mut [Lowered],
         state: &mut AdmissionState,
     ) {
@@ -958,7 +1070,7 @@ impl ServeSim {
             if target == lowered[req].op {
                 continue;
             }
-            let lowering = self.lower_at(ctx.csim, &lowered[req].spec, &target);
+            let lowering = self.lower_at_cached(cache, ctx.csim, &lowered[req].spec, &target);
             if self
                 .cfg
                 .energy_budget_pj_per_req
@@ -989,6 +1101,7 @@ impl ServeSim {
         &self,
         now: u64,
         ctx: &RouteCtx,
+        cache: &mut LowerCache,
         req: usize,
         lowered: &mut [Lowered],
         state: &mut AdmissionState,
@@ -1008,7 +1121,7 @@ impl ServeSim {
             lowered[req].level = level;
             return;
         }
-        let lowering = self.lower_at(ctx.csim, &lowered[req].spec, &target);
+        let lowering = self.lower_at_cached(cache, ctx.csim, &lowered[req].spec, &target);
         lowered[req].level = level;
         if self
             .cfg
@@ -1090,21 +1203,23 @@ impl ServeSim {
     /// instance. An instance fits a request when the booked footprints stay
     /// within the (overbooked) budget — or when it is completely idle, so a
     /// single oversized request can always make progress.
+    #[allow(clippy::too_many_arguments)] // the event loop's full mutable state
     fn try_admit(
         &self,
         now: u64,
         ctx: &RouteCtx,
+        cache: &mut LowerCache,
         lowered: &mut [Lowered],
         state: &mut AdmissionState,
         msim: &mut MultiPipelineSim,
         obs: &mut TraceRecorder,
     ) {
-        self.decay_waiting(now, ctx, lowered, state);
+        self.decay_waiting(now, ctx, cache, lowered, state);
         let budget = self.cfg.budget_bytes();
         while !state.waiting.is_empty() {
             let pos = self.pick(now, &state.waiting, lowered);
             let req = state.waiting[pos];
-            self.feedback_relower(now, ctx, req, lowered, state);
+            self.feedback_relower(now, ctx, cache, req, lowered, state);
             let fp = lowered[req].footprint;
             let target = self.place(fp, lowered[req].energy_pj, budget, state);
             let Some(inst) = target else {
@@ -1150,12 +1265,20 @@ impl ServeSim {
     }
 }
 
-/// One request lowered at one operating point (pre-budget).
+/// One request lowered at one operating point (pre-budget). Cloning shares
+/// the lowered job, so this is the value type of the lowering cache.
+#[derive(Clone)]
 pub(crate) struct PointLowering {
-    pub(crate) job: PipelineJob,
+    pub(crate) job: Arc<PipelineJob>,
     pub(crate) footprint: u64,
     pub(crate) energy_pj: f64,
 }
+
+/// The `(request shape, operating point)`-keyed memo for
+/// [`ServeSim::lower_at`] results, shared by batch lowering and every
+/// adaptive re-lowering path (decay, feedback, retry). Accessed serially
+/// only, so hit/miss statistics are deterministic at any `SOFA_THREADS`.
+pub(crate) type LowerCache = LoweringCache<ShapeKey, PointLowering>;
 
 /// Immutable routing context threaded through the serial event loop: the
 /// cycle simulator the adaptive controller re-lowers with, and the router.
@@ -1649,10 +1772,10 @@ mod tests {
                 keep_ratio: 0.25,
             },
             op: OperatingPoint::single(0.25, 64),
-            job: PipelineJob {
+            job: Arc::new(PipelineJob {
                 work: Vec::new(),
                 cycles: Vec::new(),
-            },
+            }),
             footprint,
             energy_pj: 1.0,
             rerouted: false,

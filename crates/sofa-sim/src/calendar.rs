@@ -21,6 +21,7 @@
 //! heuristics are involved.
 
 use crate::event::Scheduled;
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Initial (and minimum) number of buckets; always a power of two.
@@ -33,16 +34,30 @@ pub struct CalendarQueue<K> {
     /// `buckets[i]` holds events with `(time / width) % nbuckets == i`,
     /// sorted ascending by `(time, seq)`.
     buckets: Vec<VecDeque<Scheduled<K>>>,
-    /// Bucket time span in cycles.
+    /// Bucket time span in cycles — always a power of two, so the per-push
+    /// and per-seek window arithmetic is a shift/mask instead of a u64
+    /// division (`width == 1 << width_shift`).
     width: u64,
-    /// Bucket the pop cursor is currently scanning.
-    cursor: usize,
+    /// `width.trailing_zeros()`, cached for the hot-path shifts.
+    width_shift: u32,
+    /// Bucket the pop cursor is currently scanning. A `Cell` so
+    /// [`Self::peek_time`] can advance the cursor past provably-empty
+    /// windows and the following `pop` starts where the peek left off —
+    /// the simulators peek before every pop, and rescanning the same empty
+    /// buckets twice per event dominated fleet-scale wall time. Cursor
+    /// position is a pure function of the push/pop/peek sequence, so
+    /// determinism is unaffected.
+    cursor: Cell<usize>,
     /// Exclusive upper bound of the cursor bucket's current time window.
-    window_end: u64,
+    window_end: Cell<u64>,
     /// Total pending events.
     len: usize,
     /// Monotonic push stamp for FIFO tie-breaking.
     next_seq: u64,
+    /// Rehash scratch reused across [`Self::resize`] calls, so a queue that
+    /// oscillates around a resize threshold does not reallocate its whole
+    /// pending set every time.
+    scratch: Vec<Scheduled<K>>,
 }
 
 impl<K> Default for CalendarQueue<K> {
@@ -58,28 +73,31 @@ impl<K> CalendarQueue<K> {
     }
 
     /// Creates an empty calendar whose buckets each span `width` cycles
-    /// (clamped to at least 1). The width adapts on resize; the initial
-    /// value only matters until the first rehash.
+    /// (rounded up to a power of two, at least 1). The width adapts on
+    /// resize; the initial value only matters until the first rehash.
     pub fn with_width(width: u64) -> Self {
-        let width = width.max(1);
+        let width = width.max(1).next_power_of_two();
         CalendarQueue {
             buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
             width,
-            cursor: 0,
-            window_end: width,
+            width_shift: width.trailing_zeros(),
+            cursor: Cell::new(0),
+            window_end: Cell::new(width),
             len: 0,
             next_seq: 0,
+            scratch: Vec::new(),
         }
     }
 
-    /// Bucket index of timestamp `time`.
+    /// Bucket index of timestamp `time`. Bucket count is a power of two
+    /// (MIN_BUCKETS doubled/halved), so the modulo is a mask.
     fn bucket_of(&self, time: u64) -> usize {
-        ((time / self.width) as usize) % self.buckets.len()
+        ((time >> self.width_shift) as usize) & (self.buckets.len() - 1)
     }
 
     /// Exclusive end of the window that contains `time`.
     fn window_end_of(&self, time: u64) -> u64 {
-        (time / self.width + 1).saturating_mul(self.width)
+        ((time >> self.width_shift) + 1).saturating_mul(self.width)
     }
 
     /// Schedules `kind` to fire at `time`.
@@ -93,44 +111,42 @@ impl<K> CalendarQueue<K> {
         let bucket = &mut self.buckets[idx];
         // Sorted insert by (time, seq); seq is monotone, so among pushes of
         // the same timestamp partition_point lands past all earlier ones —
-        // the FIFO order the heap queue guarantees.
-        let at = bucket.partition_point(|s| (s.time, s.seq) < (time, seq));
-        bucket.insert(at, Scheduled { time, seq, kind });
+        // the FIFO order the heap queue guarantees. Most pushes schedule at
+        // or after everything already in their bucket, so try the append
+        // fast path before the binary search.
+        if bucket.back().is_none_or(|s| (s.time, s.seq) < (time, seq)) {
+            bucket.push_back(Scheduled { time, seq, kind });
+        } else {
+            let at = bucket.partition_point(|s| (s.time, s.seq) < (time, seq));
+            bucket.insert(at, Scheduled { time, seq, kind });
+        }
         self.len += 1;
         // An event scheduled before the cursor's current window (possible
         // when the cursor raced ahead over empty buckets) pulls the cursor
         // back so the pop scan cannot skip it.
         let ev_end = self.window_end_of(time);
-        if ev_end < self.window_end {
-            self.window_end = ev_end;
-            self.cursor = idx;
+        if ev_end < self.window_end.get() {
+            self.window_end.set(ev_end);
+            self.cursor.set(idx);
         }
     }
 
-    /// Pops the earliest event, returning `(time, kind)`; equal timestamps
-    /// come back in push order (FIFO), exactly like the heap queue.
-    pub fn pop(&mut self) -> Option<(u64, K)> {
-        if self.len == 0 {
-            return None;
-        }
+    /// Advances the cursor to the first bucket whose front event lies in the
+    /// current window, jumping straight to the global minimum after one
+    /// empty lap. Only skips provably-empty windows, so the event it lands
+    /// on is exactly the one `pop` would return. Requires `len > 0`.
+    fn seek(&self) {
         let nb = self.buckets.len();
         let mut scanned = 0usize;
         loop {
-            let front_in_window = self.buckets[self.cursor]
+            let front_in_window = self.buckets[self.cursor.get()]
                 .front()
-                .is_some_and(|s| s.time < self.window_end);
+                .is_some_and(|s| s.time < self.window_end.get());
             if front_in_window {
-                let ev = self.buckets[self.cursor]
-                    .pop_front()
-                    .expect("front checked above");
-                self.len -= 1;
-                if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
-                    self.resize(self.buckets.len() / 2);
-                }
-                return Some((ev.time, ev.kind));
+                return;
             }
-            self.cursor = (self.cursor + 1) % nb;
-            self.window_end += self.width;
+            self.cursor.set((self.cursor.get() + 1) & (nb - 1));
+            self.window_end.set(self.window_end.get() + self.width);
             scanned += 1;
             if scanned >= nb {
                 // A full lap found nothing in the current year: the next
@@ -144,38 +160,41 @@ impl<K> CalendarQueue<K> {
                     .min_by_key(|&(_, t, seq)| (t, seq))
                     .map(|(i, t, _)| (i, t))
                     .expect("len > 0 but every bucket is empty");
-                self.cursor = idx;
-                self.window_end = self.window_end_of(time);
+                self.cursor.set(idx);
+                self.window_end.set(self.window_end_of(time));
                 scanned = 0;
             }
         }
     }
 
+    /// Pops the earliest event, returning `(time, kind)`; equal timestamps
+    /// come back in push order (FIFO), exactly like the heap queue.
+    pub fn pop(&mut self) -> Option<(u64, K)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.seek();
+        let ev = self.buckets[self.cursor.get()]
+            .pop_front()
+            .expect("seek stopped on a front event");
+        self.len -= 1;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((ev.time, ev.kind))
+    }
+
     /// Timestamp of the next event without popping it.
     ///
-    /// Walks forward from the pop cursor (without moving it), falling back
-    /// to a global scan after one empty lap — the same order [`Self::pop`]
-    /// uses, so peek-then-pop always agree.
+    /// Seeks the shared cursor to the next event — the same scan [`Self::pop`]
+    /// performs, so peek-then-pop always agree and the pop right after a peek
+    /// finds its bucket without rescanning.
     pub fn peek_time(&self) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
-        let nb = self.buckets.len();
-        let mut cursor = self.cursor;
-        let mut window_end = self.window_end;
-        for _ in 0..nb {
-            if let Some(s) = self.buckets[cursor].front() {
-                if s.time < window_end {
-                    return Some(s.time);
-                }
-            }
-            cursor = (cursor + 1) % nb;
-            window_end += self.width;
-        }
-        self.buckets
-            .iter()
-            .filter_map(|b| b.front().map(|s| s.time))
-            .min()
+        self.seek();
+        self.buckets[self.cursor.get()].front().map(|s| s.time)
     }
 
     /// Whether no events remain.
@@ -194,23 +213,34 @@ impl<K> CalendarQueue<K> {
     /// post-resize layout are identical across runs.
     fn resize(&mut self, nbuckets: usize) {
         let nbuckets = nbuckets.max(MIN_BUCKETS);
-        let mut events: Vec<Scheduled<K>> =
-            self.buckets.iter_mut().flat_map(|b| b.drain(..)).collect();
+        // Drain into the reusable scratch (and reuse the existing buckets'
+        // allocations) rather than rebuilding both vectors from scratch.
+        let mut events = std::mem::take(&mut self.scratch);
+        events.clear();
+        events.extend(self.buckets.iter_mut().flat_map(|b| b.drain(..)));
         events.sort_by_key(|s| (s.time, s.seq));
         if let (Some(first), Some(last)) = (events.first(), events.last()) {
             let span = last.time - first.time;
-            self.width = (span / events.len() as u64).clamp(1, 1 << 20);
+            self.width = (span / events.len() as u64)
+                .clamp(1, 1 << 20)
+                .next_power_of_two();
+            self.width_shift = self.width.trailing_zeros();
         }
-        self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+        if nbuckets < self.buckets.len() {
+            self.buckets.truncate(nbuckets);
+        } else {
+            self.buckets.resize_with(nbuckets, VecDeque::new);
+        }
         // Re-inserting in (time, seq) order keeps every bucket sorted
         // without per-element search.
         let start = events.first().map(|s| s.time).unwrap_or(0);
-        self.cursor = self.bucket_of(start);
-        self.window_end = self.window_end_of(start);
-        for ev in events {
+        self.cursor.set(self.bucket_of(start));
+        self.window_end.set(self.window_end_of(start));
+        for ev in events.drain(..) {
             let idx = self.bucket_of(ev.time);
             self.buckets[idx].push_back(ev);
         }
+        self.scratch = events;
     }
 }
 

@@ -105,6 +105,16 @@ pub struct DramChannel {
     /// (`u64::MAX` disables aging).
     age_threshold: u64,
     queues: Vec<VecDeque<(DramRequest, u64)>>,
+    /// One bit per port, set while the port's queue is non-empty — the
+    /// round-robin pick reads these words instead of touching every queue.
+    nonempty: Vec<u64>,
+    /// Requests waiting across all port queues (excluding the in-flight one).
+    queued: usize,
+    /// Lower bound on the oldest queued request's enqueue stamp
+    /// (`u64::MAX` when provably nothing is queued). Lets [`Self::try_issue`]
+    /// skip the aging scan while no head can have reached the threshold;
+    /// tightened back to the exact minimum whenever a scan comes up empty.
+    oldest_pending: u64,
     next_port: usize,
     busy: bool,
     busy_cycles: u64,
@@ -164,6 +174,9 @@ impl DramChannel {
             command_cycles,
             age_threshold,
             queues: (0..ports).map(|_| VecDeque::new()).collect(),
+            nonempty: vec![0; ports.div_ceil(64)],
+            queued: 0,
+            oldest_pending: u64::MAX,
             next_port: 0,
             busy: false,
             busy_cycles: 0,
@@ -184,22 +197,68 @@ impl DramChannel {
     pub fn enqueue(&mut self, req: DramRequest, now: u64) {
         assert!(req.port < self.queues.len(), "no such DRAM port");
         self.queues[req.port].push_back((req, now));
+        self.nonempty[req.port / 64] |= 1 << (req.port % 64);
+        self.queued += 1;
+        self.oldest_pending = self.oldest_pending.min(now);
     }
 
     /// The port an aged request would be served from: the head request with
     /// the longest wait among those at or beyond the threshold, ties broken
     /// by port index so arbitration stays deterministic.
-    fn aged_port(&self, now: u64) -> Option<usize> {
-        if self.age_threshold == u64::MAX {
+    ///
+    /// Per-port enqueue stamps are nondecreasing (requests arrive in
+    /// simulated-time order), so each queue's head is its oldest entry and
+    /// the global oldest pending request is the minimum over heads. The
+    /// `oldest_pending` lower bound therefore proves, without touching the
+    /// queues, that no head can have aged yet; a scan that finds nothing
+    /// aged tightens the bound back to the exact head minimum.
+    fn aged_port(&mut self, now: u64) -> Option<usize> {
+        if self.age_threshold == u64::MAX
+            || now.saturating_sub(self.oldest_pending) < self.age_threshold
+        {
             return None;
         }
-        self.queues
+        let picked = self
+            .queues
             .iter()
             .enumerate()
             .filter_map(|(p, q)| q.front().map(|&(_, at)| (p, now.saturating_sub(at))))
             .filter(|&(_, wait)| wait >= self.age_threshold)
             .max_by_key(|&(p, wait)| (wait, std::cmp::Reverse(p)))
-            .map(|(p, _)| p)
+            .map(|(p, _)| p);
+        if picked.is_none() {
+            self.oldest_pending = self
+                .queues
+                .iter()
+                .filter_map(|q| q.front().map(|&(_, at)| at))
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+        picked
+    }
+
+    /// First port with queued work in cyclic order starting at `start`,
+    /// resolved from the non-empty bitmask.
+    fn next_nonempty(&self, start: usize) -> Option<usize> {
+        let nwords = self.nonempty.len();
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.nonempty[w0] & (!0u64 << b0);
+        if first != 0 {
+            return Some(w0 * 64 + first.trailing_zeros() as usize);
+        }
+        for k in 1..=nwords {
+            let i = (w0 + k) % nwords;
+            let word = if i == w0 {
+                // Wrapped back around: only the ports below `start` remain.
+                self.nonempty[i] & !(!0u64 << b0)
+            } else {
+                self.nonempty[i]
+            };
+            if word != 0 {
+                return Some(i * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// If the channel is idle and work is queued, issues the next request
@@ -208,7 +267,7 @@ impl DramChannel {
     /// `free_at` / `done_at` events and for calling [`DramChannel::release`]
     /// at `free_at`.
     pub fn try_issue(&mut self, now: u64) -> Option<Issued> {
-        if self.busy {
+        if self.busy || self.queued == 0 {
             return None;
         }
         let ports = self.queues.len();
@@ -216,12 +275,14 @@ impl DramChannel {
             self.aged_issues += 1;
             Some(aged)
         } else {
-            (0..ports)
-                .map(|i| (self.next_port + i) % ports)
-                .find(|&p| !self.queues[p].is_empty())
+            self.next_nonempty(self.next_port)
         };
         let port = pick?;
         let (req, enqueued_at) = self.queues[port].pop_front().expect("picked port has work");
+        if self.queues[port].is_empty() {
+            self.nonempty[port / 64] &= !(1 << (port % 64));
+        }
+        self.queued -= 1;
         self.next_port = (port + 1) % ports;
         let transfer =
             self.command_cycles + (req.bytes as f64 / self.bytes_per_cycle).ceil() as u64;
@@ -248,13 +309,13 @@ impl DramChannel {
 
     /// Whether any request is queued or in flight.
     pub fn is_active(&self) -> bool {
-        self.busy || self.queues.iter().any(|q| !q.is_empty())
+        self.busy || self.queued > 0
     }
 
     /// Requests currently waiting across all port queues (excluding the one
     /// in flight) — the queue-depth signal of the trace counter track.
     pub fn queued_requests(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queued
     }
 
     /// Total bytes read so far.

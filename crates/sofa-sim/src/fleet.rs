@@ -164,6 +164,10 @@ pub struct NodeSim {
     /// (the per-node fabric link serializes, so the router's decision order
     /// is already delivery order).
     pending: VecDeque<Pending>,
+    /// Completion scratch refilled by [`NodeSim::run_until`] — allocated
+    /// once and reused across epochs (fleet runs step tens of thousands of
+    /// epochs, and a fresh per-epoch vector per node was pure churn).
+    done: Vec<(u64, Completion)>,
 }
 
 impl NodeSim {
@@ -171,6 +175,7 @@ impl NodeSim {
         NodeSim {
             sim: MultiPipelineSim::new(cfg, instances, params),
             pending: VecDeque::new(),
+            done: Vec::new(),
         }
     }
 
@@ -211,8 +216,11 @@ impl NodeSim {
     /// before deliveries on equal timestamps — a completion at cycle `t`
     /// frees its instance before work delivered at `t` enters, matching the
     /// single-node serving scheduler's tie rule.
-    pub fn run_until(&mut self, until: u64) -> Vec<(u64, Completion)> {
-        let mut done = Vec::new();
+    ///
+    /// The returned slice borrows the node's reusable scratch buffer; it is
+    /// valid until the next `run_until` call.
+    pub fn run_until(&mut self, until: u64) -> &[(u64, Completion)] {
+        self.done.clear();
         loop {
             let ev = self.sim.next_event_time().filter(|&e| e < until);
             let sub = self
@@ -229,14 +237,14 @@ impl NodeSim {
             if step_event {
                 let step = self.sim.step().expect("event was pending");
                 if let Some(c) = step.completed {
-                    done.push((step.time, c));
+                    self.done.push((step.time, c));
                 }
             } else {
                 let p = self.pending.pop_front().expect("delivery was pending");
                 self.sim.submit(p.inst, p.request, &p.job, p.deliver_at);
             }
         }
-        done
+        &self.done
     }
 
     /// The node's underlying multi-instance simulation.
@@ -279,6 +287,9 @@ pub struct FleetSim {
     nodes: Vec<NodeSim>,
     instances_per_node: usize,
     traced: bool,
+    /// Merged completion scratch refilled by [`FleetSim::run_until`] —
+    /// reused across epochs like the per-node buffers it gathers.
+    completions: Vec<FleetCompletion>,
 }
 
 impl FleetSim {
@@ -296,6 +307,7 @@ impl FleetSim {
                 .collect(),
             instances_per_node,
             traced: false,
+            completions: Vec::new(),
         }
     }
 
@@ -337,25 +349,30 @@ impl FleetSim {
     /// contiguous chunk of nodes per `sofa-par` worker — and returns the
     /// epoch's completions grouped by node (node-major, time-ordered within
     /// a node). The grouping is the caller-order reduction that keeps fleet
-    /// runs bit-identical at any thread count.
-    pub fn run_until(&mut self, until: u64) -> Vec<FleetCompletion> {
-        let per_node = sofa_par::par_map_mut(&mut self.nodes, |_, node| node.run_until(until));
-        per_node
-            .into_iter()
-            .enumerate()
-            .flat_map(|(node, done)| {
-                done.into_iter().map(move |(time, c)| FleetCompletion {
+    /// runs bit-identical at any thread count. The slice borrows the fleet's
+    /// reusable scratch buffer and is valid until the next stepping call.
+    pub fn run_until(&mut self, until: u64) -> &[FleetCompletion] {
+        sofa_par::par_map_mut(&mut self.nodes, |_, node| {
+            node.run_until(until);
+        });
+        self.completions.clear();
+        for (node, n) in self.nodes.iter().enumerate() {
+            self.completions
+                .extend(n.done.iter().map(|&(time, c)| FleetCompletion {
                     node,
                     instance: c.instance,
                     request: c.request,
                     time,
-                })
-            })
-            .collect()
+                }));
+        }
+        &self.completions
     }
 
     /// Drains all pending events and deliveries on every node.
-    pub fn run_to_idle(&mut self) -> Vec<FleetCompletion> {
+    ///
+    /// Like [`FleetSim::run_until`], the returned slice borrows reusable
+    /// scratch and is valid until the next stepping call.
+    pub fn run_to_idle(&mut self) -> &[FleetCompletion] {
         self.run_until(u64::MAX)
     }
 
@@ -478,7 +495,7 @@ mod tests {
                         r * 50,
                     );
                 }
-                let mut done = Vec::new();
+                let mut done: Vec<FleetCompletion> = Vec::new();
                 let mut epoch = 4096u64;
                 while fleet.next_activity().is_some() {
                     done.extend(fleet.run_until(epoch));
@@ -507,7 +524,7 @@ mod tests {
             for r in 0..6u64 {
                 fleet.submit((r % 2) as usize, 0, r, Arc::clone(&job), r * 1000);
             }
-            let mut done = Vec::new();
+            let mut done: Vec<FleetCompletion> = Vec::new();
             let mut t = epoch;
             while fleet.next_activity().is_some() {
                 done.extend(fleet.run_until(t));

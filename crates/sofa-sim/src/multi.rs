@@ -88,7 +88,11 @@ struct Instance {
     busy: [bool; STAGES],
     next_tile: [usize; STAGES],
     idle_since: [u64; STAGES],
-    read_done: [Vec<Option<u64>>; STAGES],
+    /// `read_done[tile - base][stage]`: when the stage's operand fetch for
+    /// the tile arrived. One row per tile (not one column per stage) so a
+    /// tile's submit is a single push and `try_start`'s lookup stays on the
+    /// row the `tiles` access just touched.
+    read_done: Vec<[Option<u64>; STAGES]>,
     /// Tiles whose stage-0 key-stream read has been issued (prefetch window).
     pred_issued: usize,
     acts: [StageActivity; STAGES],
@@ -105,7 +109,7 @@ impl Instance {
             busy: [false; STAGES],
             next_tile: [0; STAGES],
             idle_since: [0; STAGES],
-            read_done: std::array::from_fn(|_| Vec::new()),
+            read_done: Vec::new(),
             pred_issued: 0,
             acts: [StageActivity::default(); STAGES],
         }
@@ -123,12 +127,12 @@ impl Instance {
     }
 
     fn read_done_at(&self, stage: usize, tile: usize) -> Option<u64> {
-        self.read_done[stage][tile - self.base]
+        self.read_done[tile - self.base][stage]
     }
 
     fn set_read_done(&mut self, stage: usize, tile: usize, now: u64) {
         let i = tile - self.base;
-        self.read_done[stage][i] = Some(now);
+        self.read_done[i][stage] = Some(now);
     }
 
     /// Drops retired tiles from the front of the stream storage. A tile is
@@ -143,9 +147,7 @@ impl Instance {
             return;
         }
         self.tiles.drain(..drop);
-        for rd in self.read_done.iter_mut() {
-            rd.drain(..drop);
-        }
+        self.read_done.drain(..drop);
         self.base += drop;
     }
 }
@@ -345,14 +347,14 @@ impl MultiPipelineSim {
     pub fn submit(&mut self, inst: usize, request: u64, job: &PipelineJob, now: u64) {
         assert!(inst < self.instances.len(), "no such instance");
         assert!(!job.work.is_empty(), "cannot submit an empty job");
-        let stage_was_drained: Vec<bool> = {
+        let stage_was_drained: [bool; STAGES] = {
             let ins = &self.instances[inst];
-            (0..STAGES)
-                .map(|s| !ins.busy[s] && ins.next_tile[s] == ins.stream_len())
-                .collect()
+            std::array::from_fn(|s| !ins.busy[s] && ins.next_tile[s] == ins.stream_len())
         };
         let n = job.work.len();
         let ins = &mut self.instances[inst];
+        ins.tiles.reserve(n);
+        ins.read_done.reserve(n);
         for (i, (&work, &cycles)) in job.work.iter().zip(job.cycles.iter()).enumerate() {
             ins.tiles.push(TileSlot {
                 request,
@@ -362,9 +364,8 @@ impl MultiPipelineSim {
             });
             // The sorting stage never reads DRAM; everything else resolves
             // its operand fetch per tile.
-            for (s, done) in ins.read_done.iter_mut().enumerate() {
-                done.push(if s == 1 { Some(now) } else { None });
-            }
+            ins.read_done
+                .push(std::array::from_fn(|s| (s == 1).then_some(now)));
         }
         // A stage that had drained its stream was idle for lack of work, not
         // stalled on a resource — restart its idle clock at the submission.
@@ -406,7 +407,9 @@ impl MultiPipelineSim {
             } => {
                 if !write {
                     self.instances[instance].set_read_done(stage, tile, now);
-                    self.try_start_all(instance, now);
+                    // Operand arrival only relaxes the receiving stage's
+                    // read constraint — the other stages cannot newly start.
+                    self.try_start(instance, stage, now);
                 }
                 None
             }
@@ -561,7 +564,16 @@ impl MultiPipelineSim {
         if stage == STAGES - 1 {
             self.instances[inst].compact();
         }
-        self.try_start_all(inst, now);
+        // A StageDone only relaxes constraints of its neighbourhood: the
+        // stage itself went idle, the upstream stage's output bank gained a
+        // free slot, the downstream stage's input bank gained a ready tile
+        // (and a zero-byte operand fetch issued above resolves downstream
+        // immediately). Stages further away cannot newly start, and the
+        // starts are mutually independent, so skipping them is
+        // behaviour-identical to the full scan.
+        for s in stage.saturating_sub(1)..=(stage + 1).min(STAGES - 1) {
+            self.try_start(inst, s, now);
+        }
         completed
     }
 
@@ -621,8 +633,9 @@ impl MultiPipelineSim {
             }
         }
 
-        let dur = ins.slot(tile).cycles[stage];
-        let request = ins.slot(tile).request;
+        let slot = ins.slot(tile);
+        let dur = slot.cycles[stage];
+        let request = slot.request;
         let end = now + dur;
         ins.busy[stage] = true;
         ins.next_tile[stage] = tile + 1;

@@ -502,3 +502,138 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // ------------- lowering-cache differentials (cache on == off) -------------
+    //
+    // The lowering cache is a pure wall-time optimisation: every report must
+    // be byte-identical with the cache on and off, at any SOFA_THREADS. A
+    // drift here means a cached lowering diverged from a fresh one — the
+    // exact bug class the cache's determinism contract forbids.
+
+    #[test]
+    fn routed_serving_is_unchanged_by_the_lowering_cache(seed in 0u64..20) {
+        use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{ServeConfig, ServeSim};
+
+        let mut tc = TraceConfig::new(8, 80.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+        let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+
+        let mut cold_cfg = ServeConfig::new(HwConfig::small(), 2);
+        cold_cfg.lowering_cache = false;
+        let reference = sofa_par::with_threads(1, || {
+            ServeSim::new(cold_cfg.clone()).run_routed(&trace, &dse)
+        });
+        let cached_cfg = ServeConfig::new(HwConfig::small(), 2);
+        prop_assert!(cached_cfg.lowering_cache, "the cache must default on");
+        for threads in [1usize, 2, 8] {
+            let cached = sofa_par::with_threads(threads, || {
+                ServeSim::new(cached_cfg.clone()).run_routed(&trace, &dse)
+            });
+            prop_assert_eq!(&cached, &reference, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn adaptive_serving_is_unchanged_by_the_lowering_cache(seed in 0u64..12) {
+        use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{AdaptiveServeConfig, ServeConfig, ServeSim};
+
+        // The adaptive paths re-lower on decay, retry (keep^attempt) and
+        // feedback re-routing — every one must hit the same cache discipline.
+        let mut tc = TraceConfig::new(8, 150.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+        let dse = hardware_aware_search(&evaluator, &DseSearchConfig::smoke(seed));
+        let controller = AdaptiveServeConfig::targeting(150_000);
+        let mut cfg = ServeConfig::new(HwConfig::small(), 2);
+        cfg.admit_buffer_bytes = 16 * 1024;
+
+        let mut cold_cfg = cfg.clone();
+        cold_cfg.lowering_cache = false;
+        let reference = sofa_par::with_threads(1, || {
+            ServeSim::new(cold_cfg.clone()).run_adaptive_study(&trace, &dse, &controller)
+        });
+        for threads in [1usize, 2, 8] {
+            let cached = sofa_par::with_threads(threads, || {
+                ServeSim::new(cfg.clone()).run_adaptive_study(&trace, &dse, &controller)
+            });
+            prop_assert_eq!(&cached, &reference, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn fleet_serving_is_unchanged_by_the_lowering_cache(
+        seed in 0u64..20,
+        nodes in 1usize..4,
+    ) {
+        use sofa_hw::config::HwConfig;
+        use sofa_model::trace::{RequestTrace, TraceConfig};
+        use sofa_serve::{FleetConfig, FleetServeSim, OpRouter};
+
+        let mut tc = TraceConfig::new(16, 120.0, seed);
+        tc.seq_len = 256;
+        tc.hidden = 256;
+        tc.heads = 4;
+        tc.prefill_queries = 8;
+        let trace = RequestTrace::generate(&tc);
+        let mut cfg = FleetConfig::new(HwConfig::small(), nodes, 2);
+        cfg.epoch_cycles = 4096;
+
+        let mut cold_cfg = cfg.clone();
+        cold_cfg.serve.lowering_cache = false;
+        let reference = sofa_par::with_threads(1, || {
+            FleetServeSim::new(cold_cfg.clone()).run(&trace, OpRouter::TraceNative)
+        });
+        for threads in [1usize, 2, 8] {
+            let cached = sofa_par::with_threads(threads, || {
+                FleetServeSim::new(cfg.clone()).run(&trace, OpRouter::TraceNative)
+            });
+            prop_assert_eq!(&cached, &reference, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn dse_search_is_unchanged_by_candidate_dedup(seed in 0u64..12) {
+        use sofa_dse::{hardware_aware_search, DseSearchConfig, EvalConfig, HwAwareEvaluator};
+
+        // Dedup answers repeated proposals from the memo; everything except
+        // the evals_saved counter itself must be bit-identical to the
+        // re-evaluating run, at any SOFA_THREADS.
+        let mut cold_cfg = DseSearchConfig::smoke(seed);
+        cold_cfg.dedup = false;
+        let mut reference = sofa_par::with_threads(1, || {
+            let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+            hardware_aware_search(&evaluator, &cold_cfg)
+        });
+        prop_assert_eq!(reference.evals_saved, 0, "dedup off must save nothing");
+        let cfg = DseSearchConfig::smoke(seed);
+        prop_assert!(cfg.dedup, "dedup must default on");
+        for threads in [1usize, 2, 8] {
+            let mut deduped = sofa_par::with_threads(threads, || {
+                let evaluator = HwAwareEvaluator::new(EvalConfig::tiny(seed), 2);
+                hardware_aware_search(&evaluator, &cfg)
+            });
+            // evals_saved is the one field dedup is allowed to change.
+            deduped.evals_saved = 0;
+            reference.evals_saved = 0;
+            prop_assert_eq!(&deduped, &reference, "threads={}", threads);
+        }
+    }
+}
